@@ -1,0 +1,131 @@
+// Command shootdown-trace prints an annotated timeline of a single TLB
+// shootdown under a chosen protocol configuration, showing how the paper's
+// optimizations reorder the protocol (compare -config=baseline with
+// -config=all).
+//
+// Usage:
+//
+//	shootdown-trace                         # baseline, cross socket
+//	shootdown-trace -config all -ptes 10
+//	shootdown-trace -config concurrent,earlyack -placement same-socket
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shootdown/internal/core"
+	"shootdown/internal/kernel"
+	"shootdown/internal/mach"
+	"shootdown/internal/mm"
+	"shootdown/internal/pagetable"
+	"shootdown/internal/sim"
+	"shootdown/internal/syscalls"
+)
+
+func parseConfig(s string) (core.Config, error) {
+	var cfg core.Config
+	if s == "" || s == "baseline" {
+		return cfg, nil
+	}
+	if s == "all" {
+		return core.AllGeneral(), nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "concurrent":
+			cfg.ConcurrentFlush = true
+		case "earlyack":
+			cfg.EarlyAck = true
+		case "cacheline":
+			cfg.CachelineConsolidation = true
+		case "incontext":
+			cfg.InContextFlush = true
+		case "cow":
+			cfg.AvoidCoWFlush = true
+		case "batching":
+			cfg.UserspaceBatching = true
+		default:
+			return cfg, fmt.Errorf("unknown optimization %q", part)
+		}
+	}
+	return cfg, nil
+}
+
+func parsePlacement(s string) (mach.Placement, error) {
+	for _, p := range mach.Placements() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown placement %q (same-core, same-socket, cross-socket)", s)
+}
+
+func main() {
+	var (
+		configStr = flag.String("config", "baseline", "comma-separated optimizations (concurrent,earlyack,cacheline,incontext,cow,batching), or 'baseline'/'all'")
+		placement = flag.String("placement", "cross-socket", "responder placement: same-core, same-socket, cross-socket")
+		ptes      = flag.Int("ptes", 1, "PTEs flushed by the shootdown")
+		unsafe    = flag.Bool("unsafe", false, "disable PTI (the paper's 'unsafe' mode)")
+	)
+	flag.Parse()
+
+	cfg, err := parseConfig(*configStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shootdown-trace:", err)
+		os.Exit(1)
+	}
+	pl, err := parsePlacement(*placement)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shootdown-trace:", err)
+		os.Exit(1)
+	}
+
+	eng := sim.NewEngine(1)
+	kcfg := kernel.DefaultConfig()
+	kcfg.PTI = !*unsafe
+	kcfg.ConsolidatedCachelines = cfg.CachelineConsolidation
+	k := kernel.New(eng, mach.DefaultTopology(), mach.DefaultCosts(), kcfg)
+	f, err := core.NewFlusher(k, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shootdown-trace:", err)
+		os.Exit(1)
+	}
+	k.SetFlusher(f)
+	rec := k.EnableTrace()
+	k.Start()
+
+	as := k.NewAddressSpace()
+	respCPU := k.Topo.ResponderFor(0, pl)
+	stop := false
+	k.CPU(respCPU).Spawn(&kernel.Task{Name: "responder", MM: as, Fn: func(ctx *kernel.Ctx) {
+		for !stop {
+			ctx.UserRun(2000)
+		}
+	}})
+	const pg = pagetable.PageSize4K
+	k.CPU(0).Spawn(&kernel.Task{Name: "initiator", MM: as, Fn: func(ctx *kernel.Ctx) {
+		ctx.UserRun(10_000)
+		v, err := syscalls.MMap(ctx, uint64(*ptes)*pg, mm.ProtRead|mm.ProtWrite, mm.Anon, nil, 0)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < *ptes; i++ {
+			if err := ctx.Touch(v.Start+uint64(i)*pg, mm.AccessWrite); err != nil {
+				panic(err)
+			}
+		}
+		rec.Reset() // trace only the shootdown itself
+		start := ctx.P.Now()
+		if err := syscalls.MadviseDontneed(ctx, v.Start, uint64(*ptes)*pg); err != nil {
+			panic(err)
+		}
+		fmt.Printf("madvise(DONTNEED, %d pages) took %d cycles (config: %s, %s, PTI=%v)\n\n",
+			*ptes, ctx.P.Now()-start, cfg, pl, kcfg.PTI)
+		stop = true
+	}})
+	eng.Run()
+	rec.Write(os.Stdout)
+}

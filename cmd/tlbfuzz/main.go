@@ -1,0 +1,201 @@
+// Command tlbfuzz stress-tests the TLB coherence invariant: it runs a
+// randomized multi-CPU workload (faults, CoW breaks, madvise, mprotect,
+// fdatasync, fork, daemons) under a random optimization configuration and
+// verifies at the end that no actively running CPU holds a translation
+// that contradicts the page tables.
+//
+// Every failure is reproducible from its seed:
+//
+//	tlbfuzz -runs 200
+//	tlbfuzz -seed 12345 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shootdown/internal/core"
+	"shootdown/internal/daemons"
+	"shootdown/internal/kernel"
+	"shootdown/internal/mach"
+	"shootdown/internal/mm"
+	"shootdown/internal/pagetable"
+	"shootdown/internal/sim"
+	"shootdown/internal/syscalls"
+)
+
+const pg = pagetable.PageSize4K
+
+func main() {
+	var (
+		runs    = flag.Int("runs", 50, "number of randomized runs")
+		seed    = flag.Uint64("seed", 0, "run a single seed instead of -runs random ones")
+		ops     = flag.Int("ops", 120, "operations per worker thread")
+		verbose = flag.Bool("v", false, "print per-run summaries")
+	)
+	flag.Parse()
+
+	seeds := make([]uint64, 0, *runs)
+	if *seed != 0 {
+		seeds = append(seeds, *seed)
+	} else {
+		r := sim.NewRand(0xf022)
+		for i := 0; i < *runs; i++ {
+			seeds = append(seeds, r.Uint64()|1)
+		}
+	}
+	failures := 0
+	for _, s := range seeds {
+		if errs := fuzzOne(s, *ops, *verbose); len(errs) > 0 {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d:\n", s)
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "  %s\n", e)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "tlbfuzz: %d/%d runs violated coherence\n", failures, len(seeds))
+		os.Exit(1)
+	}
+	fmt.Printf("tlbfuzz: %d runs, coherence held in all\n", len(seeds))
+}
+
+func randomConfig(r *sim.Rand) core.Config {
+	bits := r.Uint64()
+	return core.Config{
+		ConcurrentFlush:        bits&1 != 0,
+		EarlyAck:               bits&2 != 0,
+		CachelineConsolidation: bits&4 != 0,
+		InContextFlush:         bits&8 != 0,
+		AvoidCoWFlush:          bits&16 != 0,
+		UserspaceBatching:      bits&32 != 0,
+	}
+}
+
+func fuzzOne(seed uint64, opsPerThread int, verbose bool) []string {
+	r := sim.NewRand(seed)
+	cfg := randomConfig(r)
+	pti := r.Uint64()&1 == 0
+
+	eng := sim.NewEngine(seed)
+	kcfg := kernel.DefaultConfig()
+	kcfg.PTI = pti
+	kcfg.ConsolidatedCachelines = cfg.CachelineConsolidation
+	k := kernel.New(eng, mach.DefaultTopology(), mach.DefaultCosts(), kcfg)
+	f, err := core.NewFlusher(k, cfg)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	k.SetFlusher(f)
+	k.Start()
+
+	as := k.NewAddressSpace()
+	file := k.NewFile("fuzz", 64*pg)
+	cpus := []mach.CPU{0, 1, 2, 3, 28, 30}
+	nworkers := 2 + int(r.Uint64n(uint64(len(cpus)-1)))
+
+	var errs []string
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+
+	ready := 0
+	var children []*mm.AddressSpace
+	for w := 0; w < nworkers; w++ {
+		w := w
+		tr := sim.NewRand(seed*2654435761 + uint64(w))
+		task := &kernel.Task{Name: "fuzz", MM: as, Fn: func(ctx *kernel.Ctx) {
+			base := uint64(0x3000_0000) + uint64(w)*0x200_0000
+			arena, err := ctx.MM().MMapFixed(base, 16*pg, mm.ProtRead|mm.ProtWrite, mm.Anon, nil, 0)
+			if err != nil {
+				fail("mmap fixed: %v", err)
+				return
+			}
+			shared, err := syscalls.MMap(ctx, 16*pg, mm.ProtRead|mm.ProtWrite, mm.FileShared, file, 0)
+			if err != nil {
+				fail("mmap shared: %v", err)
+				return
+			}
+			priv, err := syscalls.MMap(ctx, 8*pg, mm.ProtRead|mm.ProtWrite, mm.FilePrivate, file, 0)
+			if err != nil {
+				fail("mmap priv: %v", err)
+				return
+			}
+			ready++
+			for ready < nworkers {
+				ctx.UserRun(1000)
+			}
+			for i := 0; i < opsPerThread; i++ {
+				page := tr.Uint64n(8)
+				switch tr.Uint64n(12) {
+				case 0, 1, 2:
+					ctx.Touch(arena.Start+page*pg, mm.AccessWrite)
+				case 3:
+					ctx.Touch(shared.Start+page*pg, mm.AccessWrite)
+				case 4:
+					ctx.Touch(shared.Start+page*pg, mm.AccessRead)
+				case 5:
+					ctx.Touch(priv.Start+page*pg, mm.AccessRead)
+					ctx.Touch(priv.Start+page*pg, mm.AccessWrite)
+				case 6:
+					syscalls.MadviseDontneed(ctx, arena.Start+page*pg, pg)
+				case 7:
+					syscalls.Fdatasync(ctx, file)
+				case 8:
+					syscalls.Mprotect(ctx, arena.Start, 2*pg, mm.ProtRead)
+					syscalls.Mprotect(ctx, arena.Start, 2*pg, mm.ProtRead|mm.ProtWrite)
+				case 9:
+					if w == 0 && len(children) < 2 {
+						if child, err := syscalls.Fork(ctx); err == nil {
+							children = append(children, child)
+						}
+					}
+					ctx.UserRun(2000)
+				default:
+					ctx.UserRun(1500)
+				}
+			}
+		}}
+		k.CPU(cpus[w]).Spawn(task)
+	}
+	// One daemon adds kernel-thread flush pressure.
+	eng.Go("daemon-spawner", func(p *sim.Proc) {
+		for ready < nworkers {
+			p.Delay(50_000)
+		}
+		daemons.Kswapd(k, 8, as, file, 8, 60_000, 2)
+	})
+	eng.Run()
+
+	// Coherence check over every address space involved.
+	spaces := append([]*mm.AddressSpace{as}, children...)
+	for _, space := range spaces {
+		for _, c := range k.CPUs() {
+			if c.CurrentMM() != space || c.Lazy() || c.HasPendingUserFlush() {
+				continue
+			}
+			for _, se := range c.TLB.Snapshot() {
+				if se.PCID != space.KernelPCID && se.PCID != space.UserPCID {
+					continue
+				}
+				tr, err := space.PT.Walk(se.Entry.VA)
+				if err != nil {
+					fail("cpu%d caches unmapped va %#x (mm %d)", c.ID, se.Entry.VA, space.ID)
+					continue
+				}
+				if tr.Frame != se.Entry.Frame {
+					fail("cpu%d stale frame at %#x: tlb %d pt %d (mm %d)", c.ID, se.Entry.VA, se.Entry.Frame, tr.Frame, space.ID)
+				}
+				if se.Entry.Flags.Has(pagetable.Write) && !tr.Flags.Has(pagetable.Write) {
+					fail("cpu%d write grant against RO PTE at %#x (mm %d)", c.ID, se.Entry.VA, space.ID)
+				}
+			}
+		}
+	}
+	if verbose {
+		st := f.Stats()
+		fmt.Printf("seed=%d cfg=%s pti=%v workers=%d: shootdowns=%d remote(sel=%d full=%d skip=%d) errs=%d\n",
+			seed, cfg, pti, nworkers, st.Shootdowns, st.RemoteSelective, st.RemoteFull, st.RemoteSkipped, len(errs))
+	}
+	return errs
+}

@@ -1,0 +1,65 @@
+// Command tlbsim regenerates the tables and figures of "Don't shoot down
+// TLB shootdowns!" (EuroSys '20) on the simulated machine.
+//
+// Usage:
+//
+//	tlbsim -list
+//	tlbsim -exp fig6
+//	tlbsim -exp all -quick
+//	tlbsim -exp table4 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shootdown/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig5..fig11, table3, table4, ablation, or 'all')")
+		quick = flag.Bool("quick", false, "shrink iteration counts and sweeps for a fast run")
+		seed  = flag.Uint64("seed", 1, "deterministic simulation seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> (or -exp all)")
+			os.Exit(2)
+		}
+		return
+	}
+
+	names := []string{*exp}
+	if strings.EqualFold(*exp, "all") {
+		names = experiments.Names()
+	}
+	reg := experiments.Registry()
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	for _, name := range names {
+		runner, ok := reg[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tlbsim: unknown experiment %q; try -list\n", name)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		for _, tab := range runner(opts) {
+			if *csv {
+				fmt.Print(tab.CSV())
+			} else {
+				tab.Write(os.Stdout)
+			}
+			fmt.Println()
+		}
+	}
+}

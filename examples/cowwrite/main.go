@@ -1,0 +1,66 @@
+// Cowwrite: the paper's copy-on-write scenario (§4.1, Figure 9) through
+// the public API. A thread maps a file privately, reads pages (arming CoW)
+// and then writes them, breaking the copy-on-write mapping. The baseline
+// kernel flushes the stale translation with INVLPG (plus INVPCID for the
+// user PCID under PTI); the optimized kernel performs an atomic kernel
+// write to the faulting address instead, which also pre-warms the TLB with
+// the new translation and preserves the page-walk cache.
+//
+//	go run ./examples/cowwrite
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shootdown"
+)
+
+const pages = 48
+
+func run(mode shootdown.Mode, cfg shootdown.Config) (perEvent float64, tricks, flushes uint64) {
+	m, err := shootdown.NewMachine(shootdown.WithMode(mode), shootdown.WithConfig(cfg), shootdown.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc := m.NewProcess("editor")
+	file := m.NewFile("document", pages*shootdown.PageSize)
+	var total uint64
+	proc.Go(0, "writer", func(t *shootdown.Thread) {
+		v, err := t.MMap(pages*shootdown.PageSize,
+			shootdown.ProtRead|shootdown.ProtWrite, shootdown.MapFilePrivate, file, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Read every page first: each maps the shared page cache
+		// read-only, arming copy-on-write.
+		for i := uint64(0); i < pages; i++ {
+			if err := t.Read(v.Start + i*shootdown.PageSize); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Now write each page: every store breaks CoW.
+		start := t.Now()
+		for i := uint64(0); i < pages; i++ {
+			if err := t.Write(v.Start + i*shootdown.PageSize); err != nil {
+				log.Fatal(err)
+			}
+		}
+		total = t.Now() - start
+	})
+	m.Run()
+	st := m.Stats()
+	return float64(total) / pages, st.CoWWriteTricks, st.CoWLocalFlushes
+}
+
+func main() {
+	fmt.Println("Copy-on-write break latency (cycles per write-fault):")
+	for _, mode := range []shootdown.Mode{shootdown.Safe, shootdown.Unsafe} {
+		base, _, baseFlushes := run(mode, shootdown.Baseline())
+		opt, tricks, _ := run(mode, shootdown.Config{AvoidCoWFlush: true})
+		fmt.Printf("  %-6v baseline %7.0f (local flushes: %d)   optimized %7.0f (write tricks: %d)   saving %4.0f cycles (%.1f%%)\n",
+			mode, base, baseFlushes, opt, tricks, base-opt, 100*(1-opt/base))
+	}
+	fmt.Println("\nThe saving applies only to the faulting core; executable mappings fall")
+	fmt.Println("back to the flush because the write access cannot purge ITLB entries.")
+}

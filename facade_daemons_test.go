@@ -1,0 +1,95 @@
+package shootdown
+
+import "testing"
+
+func TestHugePagesThroughFacade(t *testing.T) {
+	m, err := NewMachine(WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := m.NewProcess("huge")
+	const huge = 512 * PageSize
+	task := proc.Go(0, "main", func(th *Thread) {
+		v, err := th.MMapHuge(2*huge, ProtRead|ProtWrite)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if v.Len() != 2*huge {
+			t.Errorf("len = %#x", v.Len())
+		}
+		// One write populates a whole 2 MiB page.
+		if err := th.Write(v.Start + 0x1234); err != nil {
+			t.Error(err)
+		}
+		if err := th.Read(v.Start + huge - PageSize); err != nil {
+			t.Error(err)
+		}
+		if err := th.Madvise(v.Start, huge); err != nil {
+			t.Error(err)
+		}
+	})
+	m.Run()
+	if !task.Done() {
+		t.Fatal("task incomplete")
+	}
+}
+
+func TestDaemonsThroughFacade(t *testing.T) {
+	m, err := NewMachine(WithConfig(AllGeneral()), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := m.NewProcess("app")
+	file := m.NewFile("data", 32*PageSize)
+	var start uint64
+	nominated := 0
+	var ksm, swap, numa *Daemon
+	task := proc.Go(0, "main", func(th *Thread) {
+		v, err := th.MMap(16*PageSize, ProtRead|ProtWrite, MapAnon, nil, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fv, err := th.MMap(32*PageSize, ProtRead|ProtWrite, MapFileShared, file, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := uint64(0); i < 16; i++ {
+			th.Write(v.Start + i*PageSize)
+		}
+		for i := uint64(0); i < 32; i++ {
+			th.Read(fv.Start + i*PageSize)
+		}
+		start = v.Start
+		ksm = m.StartKsmd(proc, func() (uint64, uint64, bool) {
+			if nominated >= 3 {
+				return 0, 0, false
+			}
+			i := uint64(nominated * 2)
+			nominated++
+			return start + i*PageSize, start + (i+1)*PageSize, true
+		}, 4, 20_000, 1)
+		swap = m.StartKswapd(proc, file, 6, 8, 25_000, 2)
+		numa = m.StartNumaBalancer(proc, v, 8, 2, 22_000, 4)
+		for round := 0; round < 30; round++ {
+			th.Compute(8000)
+			th.Write(v.Start + uint64(round%16)*PageSize)
+			th.Read(fv.Start + uint64(round%32)*PageSize)
+		}
+	})
+	m.Run()
+	if !task.Done() {
+		t.Fatal("task incomplete")
+	}
+	if ksm.Stats().Dedups == 0 {
+		t.Errorf("ksmd did nothing: %s", ksm.Stats())
+	}
+	if swap.Stats().Reclaims == 0 {
+		t.Errorf("kswapd did nothing: %s", swap.Stats())
+	}
+	if numa.Stats().Hints == 0 {
+		t.Errorf("balancer did nothing: %s", numa.Stats())
+	}
+}

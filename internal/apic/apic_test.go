@@ -1,0 +1,208 @@
+package apic
+
+import (
+	"testing"
+
+	"shootdown/internal/mach"
+	"shootdown/internal/sim"
+)
+
+func newBus(eng *sim.Engine) *Bus {
+	return NewBus(eng, mach.DefaultTopology(), mach.DefaultCosts())
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := newBus(eng)
+	c := mach.DefaultCosts()
+	var deliveredAt sim.Time
+	b.Controller(2).SetNotify(func() { deliveredAt = eng.Now() })
+	eng.Go("sender", func(p *sim.Proc) {
+		b.SendIPI(p, 0, mach.MaskOf(2), VectorCallFunction)
+	})
+	eng.Run()
+	want := sim.Time(c.IPIWriteICR + c.IPIDeliverSocket)
+	if deliveredAt != want {
+		t.Fatalf("delivered at %d, want %d", deliveredAt, want)
+	}
+	irq, ok := b.Controller(2).Take()
+	if !ok || irq.Vector != VectorCallFunction || irq.From != 0 {
+		t.Fatalf("Take = %+v %v", irq, ok)
+	}
+	if b.Stats().ICRWrites != 1 || b.Stats().IPIsDelivered != 1 {
+		t.Fatalf("stats = %+v", b.Stats())
+	}
+}
+
+func TestCrossSocketSlower(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := newBus(eng)
+	var atSocket, atCross sim.Time
+	b.Controller(2).SetNotify(func() { atSocket = eng.Now() })
+	b.Controller(30).SetNotify(func() { atCross = eng.Now() })
+	eng.Go("sender", func(p *sim.Proc) {
+		b.SendIPI(p, 0, mach.MaskOf(2, 30), VectorCallFunction)
+	})
+	eng.Run()
+	if atCross <= atSocket {
+		t.Fatalf("cross-socket delivery (%d) not slower than same-socket (%d)", atCross, atSocket)
+	}
+}
+
+func TestClusterICRWrites(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := newBus(eng)
+	// CPUs 0..15 are cluster 0, 16..31 cluster 1, 32..47 cluster 2.
+	targets := mach.MaskOf(1, 2, 15, 16, 17, 33)
+	eng.Go("sender", func(p *sim.Proc) {
+		b.SendIPI(p, 0, targets, VectorCallFunction)
+	})
+	eng.Run()
+	if got := b.Stats().ICRWrites; got != 3 {
+		t.Fatalf("ICR writes = %d, want 3 (one per cluster)", got)
+	}
+	if got := b.Stats().IPIsDelivered; got != 6 {
+		t.Fatalf("delivered = %d, want 6", got)
+	}
+	if b.Stats().MulticastSends != 1 {
+		t.Fatalf("multicasts = %d", b.Stats().MulticastSends)
+	}
+}
+
+func TestMaskingHoldsIRQs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := newBus(eng)
+	ctrl := b.Controller(2)
+	notified := 0
+	ctrl.SetNotify(func() { notified++ })
+	ctrl.SetMasked(true)
+	eng.Go("sender", func(p *sim.Proc) {
+		b.SendIPI(p, 0, mach.MaskOf(2), VectorCallFunction)
+	})
+	eng.Run()
+	if notified != 0 {
+		t.Fatal("masked controller notified")
+	}
+	if ctrl.Deliverable() {
+		t.Fatal("masked IRQ reported deliverable")
+	}
+	if _, ok := ctrl.Take(); ok {
+		t.Fatal("Take succeeded while masked")
+	}
+	ctrl.SetMasked(false)
+	if notified != 1 {
+		t.Fatalf("unmask notified %d times, want 1", notified)
+	}
+	if irq, ok := ctrl.Take(); !ok || irq.Vector != VectorCallFunction {
+		t.Fatalf("Take after unmask = %+v %v", irq, ok)
+	}
+}
+
+func TestNMIBypassesMask(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := newBus(eng)
+	ctrl := b.Controller(5)
+	notified := 0
+	ctrl.SetNotify(func() { notified++ })
+	ctrl.SetMasked(true)
+	eng.Go("sender", func(p *sim.Proc) {
+		b.SendIPI(p, 0, mach.MaskOf(5), VectorCallFunction)
+		b.SendNMI(p, 0, 5)
+	})
+	eng.Run()
+	if notified != 1 {
+		t.Fatalf("NMI notifications = %d, want 1", notified)
+	}
+	if !ctrl.Deliverable() {
+		t.Fatal("NMI not deliverable under mask")
+	}
+	irq, ok := ctrl.Take()
+	if !ok || irq.Vector != VectorNMI {
+		t.Fatalf("Take = %+v, want NMI first", irq)
+	}
+	// The maskable IRQ stays queued.
+	if ctrl.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", ctrl.Pending())
+	}
+	if _, ok := ctrl.Take(); ok {
+		t.Fatal("maskable IRQ taken while masked")
+	}
+}
+
+func TestTakeFIFO(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := newBus(eng)
+	ctrl := b.Controller(3)
+	eng.Go("sender", func(p *sim.Proc) {
+		b.SendIPI(p, 0, mach.MaskOf(3), VectorCallFunction)
+		b.SendIPI(p, 1, mach.MaskOf(3), VectorReschedule)
+	})
+	eng.Run()
+	first, _ := ctrl.Take()
+	second, _ := ctrl.Take()
+	if first.Vector != VectorCallFunction || second.Vector != VectorReschedule {
+		t.Fatalf("order = %v, %v", first.Vector, second.Vector)
+	}
+}
+
+func TestEmptyTargetsNoop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := newBus(eng)
+	eng.Go("sender", func(p *sim.Proc) {
+		b.SendIPI(p, 0, mach.CPUMask{}, VectorCallFunction)
+		if p.Now() != 0 {
+			t.Error("empty send cost cycles")
+		}
+	})
+	eng.Run()
+	if b.Stats().ICRWrites != 0 {
+		t.Fatal("empty send wrote ICR")
+	}
+}
+
+func TestClusterICRWritesProperty(t *testing.T) {
+	// The number of ICR writes equals the number of distinct 16-CPU
+	// clusters touched, regardless of target order or density.
+	for _, tc := range []struct {
+		targets []mach.CPU
+		want    uint64
+	}{
+		{[]mach.CPU{1}, 1},
+		{[]mach.CPU{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, 1},
+		{[]mach.CPU{15, 16}, 2},
+		{[]mach.CPU{1, 17, 33, 49}, 4},
+		{[]mach.CPU{48, 49, 50, 51, 52, 53, 54, 55}, 1},
+	} {
+		eng := sim.NewEngine(1)
+		b := newBus(eng)
+		eng.Go("s", func(p *sim.Proc) {
+			b.SendIPI(p, 0, mach.MaskOf(tc.targets...), VectorCallFunction)
+		})
+		eng.Run()
+		if got := b.Stats().ICRWrites; got != tc.want {
+			t.Errorf("targets %v: ICR writes = %d, want %d", tc.targets, got, tc.want)
+		}
+	}
+}
+
+func TestSenderChargedPerClusterNotPerTarget(t *testing.T) {
+	// 14 targets in one cluster cost the sender one ICR write of time;
+	// the same count spread over 4 clusters costs four.
+	cost := func(targets ...mach.CPU) sim.Time {
+		eng := sim.NewEngine(1)
+		b := newBus(eng)
+		var spent sim.Time
+		eng.Go("s", func(p *sim.Proc) {
+			start := p.Now()
+			b.SendIPI(p, 0, mach.MaskOf(targets...), VectorCallFunction)
+			spent = p.Now() - start
+		})
+		eng.Run()
+		return spent
+	}
+	oneCluster := cost(1, 2, 3, 4)
+	fourClusters := cost(1, 17, 33, 49)
+	if fourClusters != 4*oneCluster {
+		t.Fatalf("four-cluster send = %d, want 4x one-cluster %d", fourClusters, oneCluster)
+	}
+}

@@ -1,0 +1,214 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shootdown/internal/mach"
+)
+
+func newDir() *Directory {
+	return New(mach.DefaultTopology(), mach.DefaultCosts())
+}
+
+func TestFirstTouchIsCheap(t *testing.T) {
+	d := newDir()
+	l := d.NewLine("x")
+	if got := d.Read(0, l); got != mach.DefaultCosts().L1Hit {
+		t.Fatalf("first read cost = %d, want L1 hit", got)
+	}
+	if l.State() != Exclusive {
+		t.Fatalf("state after first read = %v, want E", l.State())
+	}
+}
+
+func TestReadAfterRemoteWrite(t *testing.T) {
+	c := mach.DefaultCosts()
+	d := newDir()
+	l := d.NewLine("x")
+	d.Write(0, l)
+	if l.State() != Modified {
+		t.Fatalf("state = %v, want M", l.State())
+	}
+	// Same-socket reader pays a socket transfer and demotes to Shared.
+	if got := d.Read(2, l); got != c.SocketTransfer {
+		t.Fatalf("same-socket read = %d, want %d", got, c.SocketTransfer)
+	}
+	if l.State() != Shared {
+		t.Fatalf("state = %v, want S", l.State())
+	}
+	// Re-read is now a hit.
+	if got := d.Read(2, l); got != c.L1Hit {
+		t.Fatalf("re-read = %d, want L1 hit", got)
+	}
+}
+
+func TestCrossSocketCostsDominate(t *testing.T) {
+	c := mach.DefaultCosts()
+	d := newDir()
+	l := d.NewLine("x")
+	d.Write(0, l)
+	if got := d.Read(28, l); got != c.CrossTransfer {
+		t.Fatalf("cross read = %d, want %d", got, c.CrossTransfer)
+	}
+}
+
+func TestSMTSiblingIsCheap(t *testing.T) {
+	c := mach.DefaultCosts()
+	d := newDir()
+	l := d.NewLine("x")
+	d.Write(0, l)
+	if got := d.Read(1, l); got != c.SMTTransfer {
+		t.Fatalf("SMT read = %d, want %d", got, c.SMTTransfer)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	c := mach.DefaultCosts()
+	d := newDir()
+	l := d.NewLine("x")
+	d.Read(0, l)
+	d.Read(2, l)
+	d.Read(28, l)
+	// RFO from cpu 0 must pay for the farthest holder (cross socket).
+	if got := d.Write(0, l); got != c.CrossTransfer {
+		t.Fatalf("RFO = %d, want %d", got, c.CrossTransfer)
+	}
+	if l.State() != Modified {
+		t.Fatalf("state = %v, want M", l.State())
+	}
+	// Previous sharer must now transfer again.
+	if got := d.Read(2, l); got != c.SocketTransfer {
+		t.Fatalf("read after invalidate = %d, want transfer", got)
+	}
+}
+
+func TestSoleSharerWriteUpgradesInPlace(t *testing.T) {
+	c := mach.DefaultCosts()
+	d := newDir()
+	l := d.NewLine("x")
+	d.Write(0, l)
+	d.Read(2, l) // S with sharers {0,2}
+	d.Write(2, l)
+	d.Read(2, l)
+	// Now re-share and collapse to a single sharer scenario.
+	l2 := d.NewLine("y")
+	d.Read(3, l2) // E owned by 3
+	d.Read(3, l2)
+	if got := d.Write(3, l2); got != c.L1Hit {
+		t.Fatalf("upgrade from E by owner = %d, want L1 hit", got)
+	}
+}
+
+func TestAtomicAddsRMWCost(t *testing.T) {
+	c := mach.DefaultCosts()
+	d := newDir()
+	l := d.NewLine("x")
+	d.Write(0, l)
+	if got := d.Atomic(0, l); got != c.L1Hit+c.AtomicRMW {
+		t.Fatalf("local atomic = %d, want %d", got, c.L1Hit+c.AtomicRMW)
+	}
+	if got := d.Atomic(28, l); got != c.CrossTransfer+c.AtomicRMW {
+		t.Fatalf("remote atomic = %d, want %d", got, c.CrossTransfer+c.AtomicRMW)
+	}
+}
+
+func TestStatsAndTransferCounting(t *testing.T) {
+	d := newDir()
+	l := d.NewLine("x")
+	d.Write(0, l)
+	d.Read(28, l)
+	d.Write(2, l)
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Transfers() != 2 {
+		t.Fatalf("transfers = %d, want 2", s.Transfers())
+	}
+	if s.TransfersByDist[mach.DistCross] != 2 {
+		t.Fatalf("cross transfers = %d, want 2 (read from 28, RFO paying for 28)", s.TransfersByDist[mach.DistCross])
+	}
+	if l.Transfers() != 2 {
+		t.Fatalf("line transfers = %d", l.Transfers())
+	}
+	d.ResetStats()
+	if d.Stats().Transfers() != 0 || l.Transfers() != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestLinesSorted(t *testing.T) {
+	d := newDir()
+	d.NewLine("b")
+	d.NewLine("a")
+	ls := d.Lines()
+	if len(ls) != 2 || ls[0].Name() != "a" || ls[1].Name() != "b" {
+		t.Fatalf("Lines() not sorted: %v, %v", ls[0].Name(), ls[1].Name())
+	}
+}
+
+// Property: repeated access by the same CPU with no interference is always
+// an L1 hit after the first access, and costs never go below L1Hit.
+func TestAccessCostProperties(t *testing.T) {
+	topo := mach.DefaultTopology()
+	c := mach.DefaultCosts()
+	f := func(ops []uint16) bool {
+		d := New(topo, c)
+		l := d.NewLine("p")
+		var last mach.CPU = -1
+		for _, op := range ops {
+			cpu := mach.CPU(int(op>>1) % topo.NumCPUs())
+			var cost uint64
+			if op&1 == 0 {
+				cost = d.Read(cpu, l)
+			} else {
+				cost = d.Write(cpu, l)
+			}
+			if cost < c.L1Hit {
+				return false
+			}
+			// A repeat access by the same CPU is free of transfers.
+			if cpu == last {
+				var again uint64
+				if op&1 == 0 {
+					again = d.Read(cpu, l)
+				} else {
+					again = d.Write(cpu, l)
+				}
+				if again != c.L1Hit {
+					return false
+				}
+			}
+			last = cpu
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a write always leaves the line Modified and owned by the writer.
+func TestWriteOwnershipProperty(t *testing.T) {
+	topo := mach.DefaultTopology()
+	f := func(ops []uint16) bool {
+		d := New(topo, mach.DefaultCosts())
+		l := d.NewLine("p")
+		for _, op := range ops {
+			cpu := mach.CPU(int(op>>1) % topo.NumCPUs())
+			if op&1 == 0 {
+				d.Read(cpu, l)
+			} else {
+				d.Write(cpu, l)
+				if l.State() != Modified {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+
+	"shootdown/internal/cache"
+	"shootdown/internal/kernel"
+	"shootdown/internal/mach"
+	"shootdown/internal/mm"
+	"shootdown/internal/pagetable"
+	"shootdown/internal/sim"
+	"shootdown/internal/smp"
+	"shootdown/internal/trace"
+)
+
+// FlushInfo is the work descriptor a shootdown carries (flush_tlb_info):
+// the address space, the range, the target generation, and the flags the
+// responders need to act safely.
+type FlushInfo struct {
+	// AS is the address space whose PTEs changed.
+	AS *mm.AddressSpace
+	// Start/End/Stride describe the changed range.
+	Start, End uint64
+	Stride     pagetable.Size
+	// NewGen is the mm TLB generation this flush establishes.
+	NewGen uint64
+	// FreedTables forbids early acknowledgement (§3.2): page-table pages
+	// were released, so speculative walks on a not-yet-flushed core could
+	// touch freed memory.
+	FreedTables bool
+	// Full requests a full (non-ranged) flush, used when the range
+	// exceeds the full-flush threshold.
+	Full bool
+}
+
+// Flusher implements kernel.Flusher: the baseline Linux shootdown protocol
+// plus the paper's optimizations, selected by Config.
+type Flusher struct {
+	K   *kernel.Kernel
+	Cfg Config
+
+	stats Stats
+	// stackInfo models the per-initiator flush_tlb_info that baseline
+	// Linux keeps on the initiating CPU's stack (its own cacheline,
+	// touched by every responder). Consolidation inlines it in the CFD.
+	stackInfo []*cache.Line
+	// batchedPending tracks, per CPU, how many deferred batched flushes
+	// are queued; past 4 entries the queue degrades to a full flush
+	// (§4.2: "we allocate 4 entries to keep track of the deferred
+	// flushes").
+	batchedPending []int
+	// ipiMtx serializes entire shootdowns when SerializedIPIs is set
+	// (FreeBSD's smp_ipi_mtx).
+	ipiMtx *mm.RWSem
+}
+
+// NewFlusher builds the protocol implementation and validates that the
+// configured cacheline layout matches the SMP layer's.
+func NewFlusher(k *kernel.Kernel, cfg Config) (*Flusher, error) {
+	if err := cfg.validateAgainst(k.SMP.Consolidated()); err != nil {
+		return nil, err
+	}
+	if cfg.InContextFlush && !k.Cfg.PTI {
+		// Harmless but meaningless; normalize so stats stay comparable.
+		cfg.InContextFlush = false
+	}
+	if cfg.HWMessageIPI != k.Cfg.HWMessageIPI {
+		return nil, fmt.Errorf("core: config HWMessageIPI=%v but kernel built with %v",
+			cfg.HWMessageIPI, k.Cfg.HWMessageIPI)
+	}
+	n := k.Topo.NumCPUs()
+	f := &Flusher{
+		K: k, Cfg: cfg,
+		stackInfo:      make([]*cache.Line, n),
+		batchedPending: make([]int, n),
+	}
+	if cfg.SerializedIPIs {
+		f.ipiMtx = mm.NewRWSem(k.Eng, "smp_ipi_mtx")
+	}
+	return f, nil
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (f *Flusher) Stats() Stats { return f.stats }
+
+// BatchingEnabled implements kernel.Flusher.
+func (f *Flusher) BatchingEnabled() bool { return f.Cfg.UserspaceBatching }
+
+// ResetStats zeroes the counters.
+func (f *Flusher) ResetStats() { f.stats = Stats{} }
+
+func (f *Flusher) stackLine(cpu mach.CPU) *cache.Line {
+	if f.stackInfo[cpu] == nil {
+		f.stackInfo[cpu] = f.K.Dir.NewLine(fmt.Sprintf("flush_info[%d]", cpu))
+	}
+	return f.stackInfo[cpu]
+}
+
+// FlushAfter implements flush_tlb_mm_range: it bumps the mm generation,
+// picks targets (skipping lazy CPUs and, optionally, batched-mode CPUs),
+// and runs the local and remote flushes in the configured order.
+func (f *Flusher) FlushAfter(ctx *kernel.Ctx, as *mm.AddressSpace, fr mm.FlushRange) {
+	if fr.Empty() {
+		return
+	}
+	c, p, k := ctx.CPU, ctx.P, f.K
+
+	// inc_mm_tlb_gen: an atomic on the mm's generation cacheline.
+	p.Delay(k.Dir.Atomic(c.ID, k.MMGenLine(as)))
+	newGen := as.BumpGen()
+
+	// Linux's ceiling check uses the range span, not the changed-PTE
+	// count: (end - start) >> stride_shift vs tlb_single_page_flush_ceiling.
+	spanPages := (fr.End - fr.Start) / fr.Stride.Bytes()
+	info := &FlushInfo{
+		AS: as, Start: fr.Start, End: fr.End, Stride: fr.Stride,
+		NewGen: newGen, FreedTables: fr.FreedTables,
+		Full: spanPages > uint64(k.Cfg.FullFlushThreshold),
+	}
+
+	k.Trace.Record(c.ID, trace.ShootBegin, "mm %d gen %d range [%#x,%#x) full=%v freed=%v",
+		as.ID, newGen, info.Start, info.End, info.Full, info.FreedTables)
+	targets := f.pickTargets(ctx, as, info)
+
+	earlyAck := f.Cfg.EarlyAck && !info.FreedTables
+	if f.Cfg.EarlyAck && info.FreedTables {
+		f.stats.EarlyAckSuppressed++
+	}
+
+	if targets.Empty() {
+		f.stats.LocalOnly++
+		f.localFlush(ctx, info, nil)
+		return
+	}
+
+	if f.Cfg.LazyRemote {
+		// LATR-style extension: local flush now; remote flushes queued to
+		// run at each target's next kernel entry. No IPI, no wait — and
+		// no guarantee the target will not use a stale translation first
+		// (the paper's §2.3.2 criticism; demonstrated by tests).
+		f.localFlush(ctx, info, nil)
+		for _, cpu := range targets.CPUs() {
+			rc := k.CPU(cpu)
+			work := *info
+			rc.QueueLazyWork(func(p *sim.Proc) {
+				if rc.CurrentMM() != work.AS {
+					return
+				}
+				f.flushOnCPU(p, rc, &work, false)
+			})
+			f.stats.LazyDeferred++
+		}
+		return
+	}
+	f.stats.Shootdowns++
+
+	if f.Cfg.SerializedIPIs {
+		// FreeBSD's smp_ipi_mtx: one shootdown in flight machine-wide.
+		c.DownWrite(p, f.ipiMtx)
+		defer f.ipiMtx.UpWrite(p)
+	}
+
+	var infoLine *cache.Line
+	if !f.Cfg.CachelineConsolidation {
+		// Baseline layout: write the flush info to its own line before
+		// queueing; every responder will read it.
+		infoLine = f.stackLine(c.ID)
+		p.Delay(k.Dir.Write(c.ID, infoLine))
+	}
+
+	if f.Cfg.ConcurrentFlush {
+		// §3.1: IPIs first; the local flush overlaps their delivery.
+		reqs := k.SMP.CallMany(p, c.ID, targets, f.remoteFlushFn, info, earlyAck, infoLine)
+		k.Trace.Record(c.ID, trace.IPISent, "targets %v (early-ack=%v)", targets, earlyAck)
+		f.localFlush(ctx, info, reqs)
+		k.Trace.Record(c.ID, trace.LocalFlush, "done (overlapped with IPIs)")
+		c.WaitRequests(p, reqs)
+	} else {
+		// Baseline: local flush, then IPIs, then synchronous wait.
+		f.localFlush(ctx, info, nil)
+		k.Trace.Record(c.ID, trace.LocalFlush, "done (before IPIs)")
+		reqs := k.SMP.CallMany(p, c.ID, targets, f.remoteFlushFn, info, earlyAck, infoLine)
+		k.Trace.Record(c.ID, trace.IPISent, "targets %v (early-ack=%v)", targets, earlyAck)
+		c.WaitRequests(p, reqs)
+	}
+	k.Trace.Record(c.ID, trace.ShootEnd, "all acks received")
+}
+
+// pickTargets reads the mm cpumask and per-CPU indications to build the
+// IPI target set, charging every cacheline read the kernel would make.
+func (f *Flusher) pickTargets(ctx *kernel.Ctx, as *mm.AddressSpace, info *FlushInfo) mach.CPUMask {
+	c, p, k := ctx.CPU, ctx.P, f.K
+	p.Delay(k.Dir.Read(c.ID, k.MMCpumaskLine(as)))
+	var targets mach.CPUMask
+	for _, cpu := range as.ActiveCPUs().CPUs() {
+		if cpu == c.ID {
+			continue
+		}
+		rc := k.CPU(cpu)
+		// Lazy-mode check: a read of the (layout-dependent) lazy line.
+		p.Delay(k.Dir.Read(c.ID, k.SMP.LazyLine(cpu)))
+		if rc.Lazy() {
+			f.stats.LazySkips++
+			k.Trace.Record(c.ID, trace.TargetSkipped, "cpu%d lazy", cpu)
+			continue
+		}
+		if f.Cfg.UserspaceBatching {
+			p.Delay(k.Dir.Read(c.ID, rc.BatchedLine()))
+			if rc.InBatchedSyscall() {
+				f.queueBatched(rc, info)
+				f.stats.BatchedSkips++
+				k.Trace.Record(c.ID, trace.TargetSkipped, "cpu%d in batched syscall", cpu)
+				continue
+			}
+		}
+		targets.Set(cpu)
+		k.Trace.Record(c.ID, trace.TargetPicked, "cpu%d", cpu)
+	}
+	return targets
+}
+
+// remoteFlushFn runs on a responder in IRQ context (flush_tlb_func).
+func (f *Flusher) remoteFlushFn(p *sim.Proc, cpu mach.CPU, payload any) {
+	info := payload.(*FlushInfo)
+	rc := f.K.CPU(cpu)
+	if rc.CurrentMM() != info.AS {
+		// The mm was switched out since targeting; its PCID entries stay
+		// cached but unreachable, and the switch-in generation check will
+		// flush them before use.
+		f.stats.RemoteSkipped++
+		f.K.Trace.Record(cpu, trace.RemoteFlush, "skipped: mm not loaded")
+		return
+	}
+	f.flushOnCPU(p, rc, info, false)
+	f.K.Trace.Record(cpu, trace.RemoteFlush, "mm %d through gen %d", info.AS.ID, info.NewGen)
+}
+
+// localFlush performs the initiator-side flush. reqs is non-nil only under
+// concurrent flushing, enabling the §3.4 interaction (keep flushing user
+// PTEs until the first ack arrives).
+func (f *Flusher) localFlush(ctx *kernel.Ctx, info *FlushInfo, reqs []*smp.Request) {
+	c, p := ctx.CPU, ctx.P
+	f.flushOnCPU(p, c, info, true)
+	if reqs != nil {
+		f.flushUserWhileWaiting(ctx, info, reqs)
+	}
+}
+
+// flushOnCPU is the shared flush body (flush_tlb_func_common): generation
+// comparison decides between skip, ranged flush, and full catch-up.
+func (f *Flusher) flushOnCPU(p *sim.Proc, rc *kernel.CPU, info *FlushInfo, initiator bool) {
+	as := info.AS
+	k := f.K
+
+	// Read the mm generation (it may have advanced past info.NewGen
+	// during a flush storm).
+	p.Delay(k.Dir.Read(rc.ID, k.MMGenLine(as)))
+	mmGen := as.Gen()
+	local := rc.LocalGen(as)
+
+	switch {
+	case local >= info.NewGen:
+		// Someone already flushed through this generation here (a prior
+		// full catch-up): nothing to do. This is the storm-time fast path
+		// that erodes the optimizations' benefit in §5.2.
+		if !initiator {
+			f.stats.RemoteSkipped++
+		}
+		return
+	case !info.Full && local+1 == info.NewGen && info.NewGen == mmGen:
+		// Exactly one generation behind and the range is known: ranged
+		// flush.
+		f.rangedFlush(p, rc, info, initiator)
+		rc.SetLocalGen(as, info.NewGen)
+		if !initiator {
+			f.stats.RemoteSelective++
+		}
+	default:
+		// Catch up with a full flush.
+		p.Delay(k.Cost.CR3WriteFlush)
+		rc.TLB.FlushPCID(as.KernelPCID)
+		if k.Cfg.PTI {
+			rc.DeferUserFullFlush()
+		}
+		rc.SetLocalGen(as, mmGen)
+		if !initiator {
+			f.stats.RemoteFull++
+		}
+	}
+	// Update the per-CPU TLB state (the write that false-shares with the
+	// lazy indication under the baseline layout, §3.3).
+	p.Delay(k.Dir.Write(rc.ID, k.SMP.GenLine(rc.ID)))
+}
+
+// rangedFlush invalidates the PTEs of info's range on rc: INVLPG for the
+// kernel PCID, then the user PCID per configuration — eager INVPCID
+// (baseline), or deferred to kernel exit (in-context, §3.4).
+func (f *Flusher) rangedFlush(p *sim.Proc, rc *kernel.CPU, info *FlushInfo, initiator bool) {
+	as := info.AS
+	k := f.K
+	if k.Cfg.NestedPaging && k.Cfg.ParavirtFractureHint &&
+		info.End-info.Start > uint64(info.Stride.Bytes()) && rc.TLB.Fractured() {
+		// §7 future work: the host told us fracturing may happen, so each
+		// selective flush would escalate to a full flush anyway — issue
+		// one full flush up front instead of N useless INVLPGs.
+		f.stats.ParavirtFullFlushes++
+		p.Delay(k.Cost.CR3WriteFlush)
+		rc.TLB.FlushPCID(as.KernelPCID)
+		if k.Cfg.PTI {
+			rc.DeferUserFullFlush()
+		}
+		return
+	}
+	stride := info.Stride.Bytes()
+	for va := info.Start; va < info.End; va += stride {
+		p.Delay(k.Cost.Invlpg)
+		rc.TLB.FlushPage(as.KernelPCID, va)
+	}
+	// INVLPG flushes the whole page-structure cache as a side effect.
+	rc.TLB.InvalidateWalkCache()
+
+	if !k.Cfg.PTI {
+		return
+	}
+	if f.Cfg.InContextFlush {
+		// §3.4: record the user range; it is flushed with INVLPG when the
+		// user address space becomes current. The initiator may consume
+		// part of it while waiting for acks (flushUserWhileWaiting).
+		rc.DeferUserFlush(info.Start, info.End, info.Stride)
+	} else {
+		// Baseline: eagerly invalidate the user PCID with INVPCID, which
+		// is slower per entry and does not touch the page-walk cache.
+		for va := info.Start; va < info.End; va += stride {
+			p.Delay(k.Cost.InvpcidSingle)
+			rc.TLB.FlushPage(as.UserPCID, va)
+		}
+	}
+}
+
+// flushUserWhileWaiting implements the §3.4/§3.1 interaction: while the
+// initiator's IPIs are in flight, its spare cycles flush deferred user
+// PTEs with INVLPG; whatever remains when the first ack arrives stays
+// deferred to kernel exit.
+func (f *Flusher) flushUserWhileWaiting(ctx *kernel.Ctx, info *FlushInfo, reqs []*smp.Request) {
+	if !f.Cfg.InContextFlush || !f.K.Cfg.PTI {
+		return
+	}
+	c, p := ctx.CPU, ctx.P
+	as := info.AS
+	flushed := false
+	for !smp.AnyDone(reqs) {
+		start, _, stridePages, ok := c.PendingUserFlushRange()
+		if !ok {
+			break
+		}
+		p.Delay(f.K.Cost.Invlpg)
+		c.TLB.FlushPage(as.UserPCID, start)
+		c.ConsumeDeferredUserPages(1)
+		f.stats.UserPTEsFlushedWhileWaiting++
+		flushed = true
+		_ = stridePages
+	}
+	if flushed {
+		// These INVLPGs also dumped the page-structure cache.
+		c.TLB.InvalidateWalkCache()
+		p.Delay(f.K.Cost.Lfence)
+	}
+}
+
+// queueBatched defers info's flush to rc's batched-section exit instead of
+// sending an IPI (§4.2). Beyond 4 queued entries the deferral degrades to
+// a full flush.
+func (f *Flusher) queueBatched(rc *kernel.CPU, info *FlushInfo) {
+	cpu := rc.ID
+	f.batchedPending[cpu]++
+	work := *info
+	if f.batchedPending[cpu] > 4 {
+		f.stats.BatchedOverflows++
+		work.Full = true
+	}
+	rc.QueueBatchedFlush(func(p *sim.Proc) {
+		f.batchedPending[cpu]--
+		if rc.CurrentMM() != work.AS {
+			return
+		}
+		f.flushOnCPU(p, rc, &work, false)
+	})
+}

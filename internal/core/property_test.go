@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shootdown/internal/core"
+	"shootdown/internal/kernel"
+	"shootdown/internal/mach"
+	"shootdown/internal/mm"
+	"shootdown/internal/sim"
+	"shootdown/internal/syscalls"
+)
+
+// TestCoherenceFuzz is the repository's central safety property: under
+// *any* combination of optimizations and *any* interleaving of
+// PTE-changing operations across CPUs, a completed run leaves no actively
+// running CPU with a TLB translation that contradicts the page tables.
+// This is the "without sacrificing safety and correctness" claim of the
+// paper, checked end to end.
+func TestCoherenceFuzz(t *testing.T) {
+	type fuzzCase struct {
+		Seed    uint64
+		CfgBits uint8
+		PTI     bool
+		Ops     []uint16
+	}
+	f := func(c fuzzCase) bool {
+		cfg := core.Config{
+			ConcurrentFlush:        c.CfgBits&1 != 0,
+			EarlyAck:               c.CfgBits&2 != 0,
+			CachelineConsolidation: c.CfgBits&4 != 0,
+			InContextFlush:         c.CfgBits&8 != 0,
+			AvoidCoWFlush:          c.CfgBits&16 != 0,
+			UserspaceBatching:      c.CfgBits&32 != 0,
+		}
+		if len(c.Ops) > 60 {
+			c.Ops = c.Ops[:60]
+		}
+		w := newWorld(t, c.PTI, cfg, c.Seed|1)
+		as := w.k.NewAddressSpace()
+		file := w.k.NewFile("fuzz", 32*pg)
+
+		cpus := []mach.CPU{0, 1, 2, 28}
+		perCPU := len(c.Ops)/len(cpus) + 1
+		var tasks []*kernel.Task
+		for ti, cpu := range cpus {
+			lo := ti * perCPU
+			hi := lo + perCPU
+			if lo > len(c.Ops) {
+				lo = len(c.Ops)
+			}
+			if hi > len(c.Ops) {
+				hi = len(c.Ops)
+			}
+			ops := c.Ops[lo:hi]
+			task := &kernel.Task{Name: "fuzz", MM: as, Fn: func(ctx *kernel.Ctx) {
+				// Every task owns a disjoint fixed arena plus a shared
+				// file mapping, so mmap/munmap races stay well-formed
+				// while faults and flushes interleave freely.
+				base := uint64(0x2000_0000) + uint64(ti)*0x100_0000
+				arena, err := ctx.MM().MMapFixed(base, 16*pg, mm.ProtRead|mm.ProtWrite, mm.Anon, nil, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				shared, err := syscalls.MMap(ctx, 16*pg, mm.ProtRead|mm.ProtWrite, mm.FileShared, file, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				priv, err := syscalls.MMap(ctx, 8*pg, mm.ProtRead|mm.ProtWrite, mm.FilePrivate, file, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, op := range ops {
+					page := uint64(op>>4) % 8
+					switch op % 9 {
+					case 0, 1:
+						ctx.Touch(arena.Start+page*pg, mm.AccessWrite)
+					case 2:
+						ctx.Touch(shared.Start+page*pg, mm.AccessWrite)
+					case 3:
+						ctx.Touch(shared.Start+page*pg, mm.AccessRead)
+					case 4:
+						ctx.Touch(priv.Start+page*pg, mm.AccessRead)
+						ctx.Touch(priv.Start+page*pg, mm.AccessWrite) // CoW
+					case 5:
+						syscalls.MadviseDontneed(ctx, arena.Start+page*pg, pg)
+					case 6:
+						syscalls.Fdatasync(ctx, file)
+					case 7:
+						syscalls.Mprotect(ctx, arena.Start, 2*pg, mm.ProtRead)
+						syscalls.Mprotect(ctx, arena.Start, 2*pg, mm.ProtRead|mm.ProtWrite)
+					case 8:
+						ctx.UserRun(3000)
+					}
+				}
+			}}
+			w.k.CPU(cpu).Spawn(task)
+			tasks = append(tasks, task)
+		}
+		w.eng.Run()
+		for _, task := range tasks {
+			if !task.Done() {
+				t.Error("fuzz task did not finish (deadlock?)")
+				return false
+			}
+		}
+		before := t.Failed()
+		checkCoherence(t, w.k, as)
+		return !t.Failed() || before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminismFuzz: identical fuzz inputs produce identical final
+// virtual times, across every optimization combination.
+func TestDeterminismFuzz(t *testing.T) {
+	run := func(bits uint8, seed uint64) sim.Time {
+		cfg := core.Config{
+			ConcurrentFlush:        bits&1 != 0,
+			EarlyAck:               bits&2 != 0,
+			CachelineConsolidation: bits&4 != 0,
+			InContextFlush:         bits&8 != 0,
+			AvoidCoWFlush:          bits&16 != 0,
+			UserspaceBatching:      bits&32 != 0,
+		}
+		w := newWorld(t, true, cfg, seed)
+		as := w.k.NewAddressSpace()
+		file := w.k.NewFile("d", 16*pg)
+		for _, cpu := range []mach.CPU{0, 2} {
+			w.k.CPU(cpu).Spawn(&kernel.Task{Name: "d", MM: as, Fn: func(ctx *kernel.Ctx) {
+				v, err := syscalls.MMap(ctx, 8*pg, mm.ProtRead|mm.ProtWrite, mm.FileShared, file, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < 10; i++ {
+					ctx.Touch(v.Start+uint64(i%8)*pg, mm.AccessWrite)
+					if i%4 == 3 {
+						syscalls.Fdatasync(ctx, file)
+					}
+				}
+			}})
+		}
+		w.eng.Run()
+		return w.eng.Now()
+	}
+	for bits := uint8(0); bits < 64; bits += 9 {
+		a := run(bits, 77)
+		b := run(bits, 77)
+		if a != b {
+			t.Fatalf("bits=%#b: non-deterministic end times %d vs %d", bits, a, b)
+		}
+	}
+}

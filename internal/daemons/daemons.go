@@ -1,0 +1,200 @@
+// Package daemons implements the kernel memory-management daemons the
+// paper names as TLB-flush sources in §2.1 beyond application system
+// calls: memory deduplication (ksmd), huge-page compaction (khugepaged),
+// page reclamation (kswapd) and NUMA-balancing hinting/migration. Each
+// runs as a pinned task that periodically mutates page tables of a target
+// address space and hands the resulting flush work to the shootdown
+// protocol — so daemon-heavy systems exercise shootdowns in patterns the
+// syscall benchmarks do not (bursts from kernel context against many
+// user threads).
+package daemons
+
+import (
+	"fmt"
+
+	"shootdown/internal/kernel"
+	"shootdown/internal/mach"
+	"shootdown/internal/mm"
+	"shootdown/internal/pagetable"
+)
+
+const pg = pagetable.PageSize4K
+
+// Stats counts a daemon's actions.
+type Stats struct {
+	Scans      int
+	Collapses  int
+	Dedups     int
+	Reclaims   int
+	Hints      int
+	Migrations int
+	// FlushesIssued counts FlushAfter invocations by this daemon.
+	FlushesIssued int
+}
+
+// Daemon is a handle to a running daemon task.
+type Daemon struct {
+	Task  *kernel.Task
+	stats *Stats
+}
+
+// Stats returns the daemon's action counters (valid once Task.Done()).
+func (d *Daemon) Stats() Stats { return *d.stats }
+
+// kernelSection runs fn inside a kernel context on the daemon's CPU
+// (daemons are kernel threads; the entry/exit they pay is the kthread's
+// preemption point, not a user-mode crossing — modeled with the syscall
+// path for simplicity).
+func kernelSection(ctx *kernel.Ctx, fn func()) {
+	ctx.EnterSyscall()
+	fn()
+	ctx.ExitSyscall()
+}
+
+// Khugepaged scans v (a small-page anonymous VMA) every interval cycles
+// and collapses each fully-populated, unshared 2 MiB region into a huge
+// page. Collapse frees a page-table page, so its shootdowns never use
+// early acknowledgement (§3.2). It stops after rounds scans.
+func Khugepaged(k *kernel.Kernel, cpu mach.CPU, as *mm.AddressSpace, v *mm.VMA, interval uint64, rounds int) *Daemon {
+	st := &Stats{}
+	task := &kernel.Task{Name: "khugepaged", MM: as, Fn: func(ctx *kernel.Ctx) {
+		for r := 0; r < rounds; r++ {
+			ctx.UserRun(interval)
+			st.Scans++
+			kernelSection(ctx, func() {
+				ctx.CPU.DownWrite(ctx.P, as.MmapSem)
+				base := (v.Start + pagetable.PageSize2M - 1) &^ uint64(pagetable.PageSize2M-1)
+				for ; base+pagetable.PageSize2M <= v.End; base += pagetable.PageSize2M {
+					fr, err := as.CollapseHuge(base)
+					if err != nil {
+						continue // holes, shared pages, already huge
+					}
+					// Copying 512 small pages into the huge page.
+					ctx.CPU.KernelRun(ctx.P, k.Cost.CopyPage2M)
+					k.Flusher().FlushAfter(ctx, as, fr)
+					st.Collapses++
+					st.FlushesIssued++
+				}
+				as.MmapSem.UpWrite(ctx.P)
+			})
+		}
+	}}
+	k.CPU(cpu).Spawn(task)
+	return &Daemon{Task: task, stats: st}
+}
+
+// Ksmd deduplicates anonymous pages every interval cycles. candidates
+// returns the next pair of equal-content pages (the simulation does not
+// model page contents, so the workload nominates duplicates); it returns
+// ok=false when none remain this round.
+func Ksmd(k *kernel.Kernel, cpu mach.CPU, as *mm.AddressSpace, candidates func() (va1, va2 uint64, ok bool), interval uint64, rounds int) *Daemon {
+	st := &Stats{}
+	task := &kernel.Task{Name: "ksmd", MM: as, Fn: func(ctx *kernel.Ctx) {
+		for r := 0; r < rounds; r++ {
+			ctx.UserRun(interval)
+			st.Scans++
+			kernelSection(ctx, func() {
+				ctx.CPU.DownRead(ctx.P, as.MmapSem)
+				for {
+					va1, va2, ok := candidates()
+					if !ok {
+						break
+					}
+					frs, err := as.DedupPages(va1, va2)
+					if err != nil {
+						continue
+					}
+					// Checksum comparison of both pages.
+					ctx.P.Delay(2 * k.Cost.CopyPage4K / 4)
+					for _, fr := range frs {
+						k.Flusher().FlushAfter(ctx, as, fr)
+						st.FlushesIssued++
+					}
+					st.Dedups++
+				}
+				as.MmapSem.UpRead(ctx.P)
+			})
+		}
+	}}
+	k.CPU(cpu).Spawn(task)
+	return &Daemon{Task: task, stats: st}
+}
+
+// Kswapd reclaims up to batch clean page-cache mappings of file from as
+// every interval cycles (memory-pressure eviction). It stops after rounds
+// sweeps.
+func Kswapd(k *kernel.Kernel, cpu mach.CPU, as *mm.AddressSpace, file *mm.File, batch int, interval uint64, rounds int) *Daemon {
+	st := &Stats{}
+	task := &kernel.Task{Name: "kswapd", MM: as, Fn: func(ctx *kernel.Ctx) {
+		for r := 0; r < rounds; r++ {
+			ctx.UserRun(interval)
+			st.Scans++
+			kernelSection(ctx, func() {
+				ctx.CPU.DownRead(ctx.P, as.MmapSem)
+				victims, fr, err := as.ReclaimCleanFilePages(file, batch)
+				if err == nil && len(victims) > 0 {
+					ctx.P.Delay(uint64(len(victims)) * k.Cost.PTEUpdate)
+					k.Flusher().FlushAfter(ctx, as, fr)
+					st.Reclaims += len(victims)
+					st.FlushesIssued++
+				}
+				as.MmapSem.UpRead(ctx.P)
+			})
+		}
+	}}
+	k.CPU(cpu).Spawn(task)
+	return &Daemon{Task: task, stats: st}
+}
+
+// NumaBalancer alternates hint rounds (installing ProtNone on v's pages;
+// change_prot_numa) and migration rounds (moving migrate pages of v to
+// "remote node" frames), every interval cycles. It takes mmap_sem for
+// read during hinting — the lock the paper's footnote 1 points out LATR's
+// equivalent path forgot.
+func NumaBalancer(k *kernel.Kernel, cpu mach.CPU, as *mm.AddressSpace, v *mm.VMA, migrate int, interval uint64, rounds int) *Daemon {
+	st := &Stats{}
+	task := &kernel.Task{Name: "numa-balancer", MM: as, Fn: func(ctx *kernel.Ctx) {
+		for r := 0; r < rounds; r++ {
+			ctx.UserRun(interval)
+			st.Scans++
+			if r%2 == 0 {
+				kernelSection(ctx, func() {
+					ctx.CPU.DownRead(ctx.P, as.MmapSem)
+					fr, err := as.NUMAHintRange(v.Start, v.End)
+					if err == nil && !fr.Empty() {
+						ctx.P.Delay(uint64(fr.Pages) * k.Cost.PTEUpdate)
+						k.Flusher().FlushAfter(ctx, as, fr)
+						st.Hints += fr.Pages
+						st.FlushesIssued++
+					}
+					as.MmapSem.UpRead(ctx.P)
+				})
+				continue
+			}
+			kernelSection(ctx, func() {
+				ctx.CPU.DownRead(ctx.P, as.MmapSem)
+				moved := 0
+				for off := uint64(0); off < v.End-v.Start && moved < migrate; off += pg {
+					fr, err := as.MigratePage(v.Start + off)
+					if err != nil {
+						continue
+					}
+					ctx.CPU.KernelRun(ctx.P, k.Cost.CopyPage4K)
+					k.Flusher().FlushAfter(ctx, as, fr)
+					st.Migrations++
+					st.FlushesIssued++
+					moved++
+				}
+				as.MmapSem.UpRead(ctx.P)
+			})
+		}
+	}}
+	k.CPU(cpu).Spawn(task)
+	return &Daemon{Task: task, stats: st}
+}
+
+// String summarizes the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("scans=%d collapses=%d dedups=%d reclaims=%d hints=%d migrations=%d flushes=%d",
+		s.Scans, s.Collapses, s.Dedups, s.Reclaims, s.Hints, s.Migrations, s.FlushesIssued)
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ablation", "daemons", "extensions", "fig10", "fig11", "fig5", "fig6", "fig7", "fig8", "fig9", "table3", "table4"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tabs := Fig5(quick())
+	if len(tabs) != 2 {
+		t.Fatalf("fig5 tables = %d, want initiator+responder", len(tabs))
+	}
+	init := tabs[0]
+	if len(init.Rows) != 5 { // baseline + 4 cumulative configs (safe mode)
+		t.Fatalf("fig5 initiator rows = %d, want 5", len(init.Rows))
+	}
+	if len(init.Header) != 4 { // config + 3 placements
+		t.Fatalf("fig5 header = %v", init.Header)
+	}
+	if init.Rows[0][0] != "baseline" {
+		t.Fatalf("first row = %v", init.Rows[0])
+	}
+	// The fully-optimized initiator must show a latency reduction.
+	last := init.Rows[len(init.Rows)-1]
+	if !strings.Contains(last[3], "-") || strings.Contains(last[3], "(-0%)") {
+		t.Fatalf("no cross-socket reduction in final config: %q", last[3])
+	}
+}
+
+func TestFig7OmitsInContext(t *testing.T) {
+	tabs := Fig7(quick())
+	for _, row := range tabs[0].Rows {
+		if strings.Contains(row[0], "incontext") {
+			t.Fatalf("unsafe figure contains in-context bar: %v", row)
+		}
+	}
+	if len(tabs[0].Rows) != 4 {
+		t.Fatalf("fig7 rows = %d, want 4", len(tabs[0].Rows))
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tabs := Table3(quick())
+	tab := tabs[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			if !strings.Contains(cell, "/") || !strings.Contains(cell, "%") {
+				t.Fatalf("cell %q not in init/resp %% form", cell)
+			}
+		}
+	}
+	// 10-PTE reductions exceed 1-PTE reductions on the initiator side
+	// (paper: 58% vs 39% safe).
+	parse := func(cell string) int {
+		v, _ := strconv.Atoi(strings.TrimSuffix(strings.Fields(cell)[0], "%"))
+		return v
+	}
+	if parse(tab.Rows[1][1]) <= parse(tab.Rows[0][1]) {
+		t.Fatalf("10-PTE safe reduction (%s) not above 1-PTE (%s)", tab.Rows[1][1], tab.Rows[0][1])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tabs := Fig9(quick())
+	tab := tabs[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if !strings.Contains(row[4], "cycles") {
+			t.Fatalf("saving cell = %q", row[4])
+		}
+		if strings.HasPrefix(row[4], "-") {
+			t.Fatalf("CoW optimization made things slower: %v", row)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tabs := Table4(quick())
+	tab := tabs[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	// Row 1 (VM, guest 2M on host 4K): sel/full ratio ~ 1.
+	frac := tab.Rows[1]
+	if frac[5] != "1.000" {
+		t.Fatalf("fractured sel/full = %q, want 1.000", frac[5])
+	}
+	// Every other row: ratio well under 1.
+	for i, row := range tab.Rows {
+		if i == 1 {
+			continue
+		}
+		r, err := strconv.ParseFloat(row[5], 64)
+		if err != nil || r > 0.1 {
+			t.Fatalf("row %d sel/full = %q, want << 1", i, row[5])
+		}
+	}
+}
+
+func TestAblationTables(t *testing.T) {
+	tabs := Ablations(quick())
+	if len(tabs) != 3 {
+		t.Fatalf("ablation tables = %d", len(tabs))
+	}
+	// Early-ack suppression: the munmap row must show suppressions.
+	ack := tabs[1]
+	if len(ack.Rows) != 2 || ack.Rows[1][3] == "0" {
+		t.Fatalf("suppression table = %v", ack.Rows)
+	}
+	// Interaction: with concurrent flushing, some user PTEs are flushed
+	// while waiting; without it, none.
+	inter := tabs[2]
+	if inter.Rows[0][2] != "0" {
+		t.Fatalf("in-context-only flushed-while-waiting = %q, want 0", inter.Rows[0][2])
+	}
+	if inter.Rows[1][2] == "0" {
+		t.Fatal("concurrent interaction flushed no user PTEs")
+	}
+}
+
+func TestTablesRenderAndCSV(t *testing.T) {
+	for _, tab := range Table4(quick()) {
+		if !strings.Contains(tab.String(), "Table 4") {
+			t.Fatal("missing title")
+		}
+		if lines := strings.Count(tab.CSV(), "\n"); lines != len(tab.Rows)+1 {
+			t.Fatalf("CSV lines = %d", lines)
+		}
+	}
+}

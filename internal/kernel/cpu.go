@@ -1,0 +1,463 @@
+package kernel
+
+import (
+	"fmt"
+
+	"shootdown/internal/apic"
+	"shootdown/internal/cache"
+	"shootdown/internal/mach"
+	"shootdown/internal/mm"
+	"shootdown/internal/sim"
+	"shootdown/internal/smp"
+	"shootdown/internal/tlb"
+	"shootdown/internal/trace"
+)
+
+// CPU is one logical processor's kernel context: its TLB, local APIC, run
+// queue, loaded address space, TLB-generation bookkeeping, deferred-flush
+// state and measurement counters.
+type CPU struct {
+	K   *Kernel
+	ID  mach.CPU
+	TLB *tlb.TLB
+	// Ctrl is the local APIC.
+	Ctrl *apic.Controller
+
+	proc *sim.Proc
+	// wake is broadcast on IRQ arrival, task enqueue and shootdown-ack
+	// hooks; every blocking loop on this CPU waits on it.
+	wake *sim.Cond
+
+	runq    []*Task
+	curTask *Task
+	// inUser is true while the current task executes user-mode code.
+	inUser bool
+	// curMM is the loaded address space (persists while idle: lazy TLB).
+	curMM *mm.AddressSpace
+	// lazy is the lazy-TLB indication initiators read to skip IPIs.
+	lazy bool
+	// localGen is this CPU's per-address-space TLB generation: entries of
+	// an mm cached under its PCID are valid up to localGen[mm]. Mirrors
+	// Linux's per-ASID ctx/tlb_gen tracking.
+	localGen map[mm.ID]uint64
+
+	// Deferred user-PCID flush state (PTI): either a merged selective
+	// range flushed with INVLPG on return to user (§3.4 in-context
+	// flushing), or a full deferred flush folded into the CR3 reload
+	// (baseline Linux behaviour for full flushes).
+	duValid        bool
+	duStart, duEnd uint64
+	duStridePages  uint64 // stride in 4 KiB units
+	duFull         bool
+
+	// Userspace-safe batching state (§4.2).
+	batched        bool
+	batchedLine    *cache.Line
+	pendingBatched []func(p *sim.Proc)
+
+	// lazyWork holds LATR-style deferred remote flushes (core.Config
+	// LazyRemote): executed at the CPU's next kernel entry, with no IPI
+	// and no initiator wait. See the extension notes in internal/core.
+	lazyWork []func(p *sim.Proc)
+
+	// Measurement counters.
+
+	// Interrupted accumulates cycles spent handling IRQs while a task was
+	// running (the paper's responder metric).
+	Interrupted uint64
+	// IRQsHandled counts serviced interrupts.
+	IRQsHandled uint64
+	// DeferredFlushes counts user PTEs flushed at return-to-user.
+	DeferredFlushes uint64
+	// FullUserFlushes counts deferred full user-PCID flushes.
+	FullUserFlushes uint64
+}
+
+func newCPU(k *Kernel, id mach.CPU) *CPU {
+	c := &CPU{
+		K: k, ID: id,
+		TLB:         tlb.New(k.Cfg.TLB),
+		Ctrl:        k.Bus.Controller(id),
+		wake:        k.Eng.NewCond(),
+		localGen:    make(map[mm.ID]uint64),
+		batchedLine: k.Dir.NewLine(fmt.Sprintf("batched[%d]", id)),
+	}
+	c.Ctrl.SetNotify(func() { c.wake.Broadcast() })
+	return c
+}
+
+// Proc returns the CPU's run-loop process (nil before Start).
+func (c *CPU) Proc() *sim.Proc { return c.proc }
+
+// CurrentMM returns the loaded address space (may be nil at boot).
+func (c *CPU) CurrentMM() *mm.AddressSpace { return c.curMM }
+
+// Lazy reports whether the CPU is idling in lazy-TLB mode.
+func (c *CPU) Lazy() bool { return c.lazy }
+
+// InUser reports whether the CPU is executing user-mode code.
+func (c *CPU) InUser() bool { return c.inUser }
+
+// LocalGen returns this CPU's TLB generation for as.
+func (c *CPU) LocalGen(as *mm.AddressSpace) uint64 { return c.localGen[as.ID] }
+
+// SetLocalGen records that this CPU's TLB is synchronized with as up to
+// gen. The shootdown responder calls it after flushing.
+func (c *CPU) SetLocalGen(as *mm.AddressSpace, gen uint64) { c.localGen[as.ID] = gen }
+
+// ResetCounters zeroes measurement counters (between benchmark phases).
+func (c *CPU) ResetCounters() {
+	c.Interrupted, c.IRQsHandled = 0, 0
+	c.DeferredFlushes, c.FullUserFlushes = 0, 0
+	c.TLB.ResetStats()
+}
+
+// --- Run loop and scheduling ---
+
+// Spawn enqueues t to run on this CPU (tasks are pinned, as the paper's
+// benchmarks pin threads with taskset).
+func (c *CPU) Spawn(t *Task) {
+	if t.Fn == nil || t.MM == nil {
+		panic("kernel: task needs MM and Fn")
+	}
+	t.cpu = c
+	t.doneCond = c.K.Eng.NewCond()
+	c.runq = append(c.runq, t)
+	c.wake.Broadcast()
+}
+
+func (c *CPU) startLoop() {
+	c.proc = c.K.Eng.Go(fmt.Sprintf("cpu%d", c.ID), c.loop)
+}
+
+func (c *CPU) loop(p *sim.Proc) {
+	for {
+		c.ServiceIRQs(p)
+		if len(c.runq) == 0 {
+			if !c.lazy && c.curMM != nil {
+				// Enter lazy-TLB mode: the idle loop keeps the old mm
+				// loaded; initiators skip us. The indication is written
+				// on the (layout-dependent) lazy line. The write yields,
+				// so loop back and recheck before sleeping.
+				c.lazy = true
+				p.Delay(c.K.Dir.Write(c.ID, c.K.SMP.LazyLine(c.ID)))
+				continue
+			}
+			if c.Ctrl.Deliverable() {
+				continue
+			}
+			// No yield since the checks above: a wakeup cannot be lost.
+			c.wake.Wait(p)
+			continue
+		}
+		t := c.runq[0]
+		c.runq = c.runq[1:]
+		if c.lazy {
+			c.lazy = false
+			p.Delay(c.K.Dir.Write(c.ID, c.K.SMP.LazyLine(c.ID)))
+		}
+		c.switchMM(p, t.MM, true)
+		if c.K.Cfg.PTI {
+			// Return-to-user after the switch: any deferred user-PCID
+			// flushes (e.g. from the generation catch-up) execute before
+			// the first user-mode access.
+			c.runDeferredUserFlushes(p)
+		}
+		c.curTask = t
+		c.inUser = true
+		t.Fn(&Ctx{K: c.K, CPU: c, P: p, Task: t})
+		c.inUser = false
+		c.curTask = nil
+		t.done = true
+		t.doneCond.Broadcast()
+	}
+}
+
+// switchMM loads as, performing Linux's switch-in TLB-generation check:
+// if PTEs changed while the address space was inactive here (we were lazy
+// or running another mm and were skipped), the stale PCID-tagged entries
+// are flushed now. wasIdle marks re-entry from the idle/lazy loop, which
+// must recheck even for the same mm.
+func (c *CPU) switchMM(p *sim.Proc, as *mm.AddressSpace, wasIdle bool) {
+	same := c.curMM == as
+	if !same {
+		if prev := c.curMM; prev != nil {
+			// Leaving prev: drop out of its cpumask. PCID-tagged entries
+			// of prev may stay cached, so the switch-in path below (via
+			// CatchUpGen on the next load) is what keeps them coherent.
+			p.Delay(c.K.Dir.Atomic(c.ID, c.K.MMCpumaskLine(prev)))
+			prev.ClearActive(c.ID)
+		}
+		if c.K.Cfg.DisablePCID {
+			// No PCIDs (§2.1): the CR3 write flushes every non-global
+			// entry; the new address space starts with a cold TLB.
+			p.Delay(c.K.Cost.CR3WriteFlush)
+			c.TLB.FlushAllNonGlobal()
+		} else {
+			p.Delay(c.K.Cost.CR3WriteNoFlush)
+		}
+		c.curMM = as
+		p.Delay(c.K.Dir.Atomic(c.ID, c.K.MMCpumaskLine(as)))
+		as.SetActive(c.ID)
+		if c.K.Cfg.DisablePCID {
+			// The flush synchronized us with every generation.
+			c.localGen[as.ID] = as.Gen()
+		}
+	}
+	if !same || wasIdle {
+		c.CatchUpGen(p, as)
+	}
+}
+
+// CatchUpGen compares the CPU's local generation for as against the
+// current mm generation and fully flushes the address space's PCIDs if
+// stale. This is the mechanism that makes skipping lazy CPUs safe.
+func (c *CPU) CatchUpGen(p *sim.Proc, as *mm.AddressSpace) {
+	p.Delay(c.K.Dir.Read(c.ID, c.K.MMGenLine(as)))
+	gen := as.Gen()
+	if c.localGen[as.ID] >= gen {
+		return
+	}
+	p.Delay(c.K.Cost.CR3WriteFlush)
+	c.TLB.FlushPCID(as.KernelPCID)
+	if c.K.Cfg.PTI {
+		c.DeferUserFullFlush()
+	}
+	p.Delay(c.K.Dir.Write(c.ID, c.K.SMP.GenLine(c.ID)))
+	c.localGen[as.ID] = gen
+}
+
+// --- Interrupt servicing ---
+
+// QueueLazyWork defers fn to this CPU's next kernel entry (LATR-style
+// asynchronous shootdown). Unlike batched sections there is no guarantee
+// about user accesses in between — that is exactly the hazard the paper
+// §2.3.2 describes, preserved here for the comparative experiments.
+func (c *CPU) QueueLazyWork(fn func(p *sim.Proc)) {
+	c.lazyWork = append(c.lazyWork, fn)
+	c.wake.Broadcast()
+}
+
+// PendingLazyWork returns the number of queued lazy flushes.
+func (c *CPU) PendingLazyWork() int { return len(c.lazyWork) }
+
+// DrainLazyWork runs queued lazy flushes; called at kernel-entry points.
+func (c *CPU) DrainLazyWork(p *sim.Proc) {
+	for len(c.lazyWork) > 0 {
+		work := c.lazyWork
+		c.lazyWork = nil
+		for _, fn := range work {
+			fn(p)
+		}
+	}
+}
+
+// ServiceIRQs drains all deliverable interrupts, charging entry/exit costs
+// and accounting interruption time against the running task.
+func (c *CPU) ServiceIRQs(p *sim.Proc) {
+	if len(c.lazyWork) > 0 && !c.inUser {
+		// Kernel context reached: lazily deferred flushes run now.
+		c.DrainLazyWork(p)
+	}
+	for {
+		irq, ok := c.Ctrl.Take()
+		if !ok {
+			return
+		}
+		start := p.Now()
+		fromUser := c.inUser
+		c.inUser = false
+		if fromUser {
+			p.Delay(c.K.Cost.IRQEntryUser)
+			if c.K.Cfg.PTI {
+				p.Delay(c.K.Cost.PTITrampoline)
+			}
+		} else {
+			p.Delay(c.K.Cost.IRQEntryKernel)
+		}
+		c.K.Trace.Record(c.ID, trace.IRQEnter, "vector %#x from cpu%d (user=%v)", irq.Vector, irq.From, fromUser)
+		// Any kernel entry is a LATR sweep point.
+		c.DrainLazyWork(p)
+		switch irq.Vector {
+		case apic.VectorCallFunction:
+			c.K.SMP.HandleIPI(p, c.ID)
+		case apic.VectorNMI:
+			c.handleNMI(p)
+		case apic.VectorReschedule:
+			// Wakeup only; the run loop rechecks its queue.
+		}
+		p.Delay(c.K.Cost.IRQExit)
+		if fromUser {
+			if c.K.Cfg.PTI {
+				c.runDeferredUserFlushes(p)
+				p.Delay(c.K.Cost.PTITrampoline)
+			}
+			c.inUser = true
+		}
+		c.K.Trace.Record(c.ID, trace.IRQExit, "")
+		c.IRQsHandled++
+		if c.curTask != nil {
+			c.Interrupted += uint64(p.Now() - start)
+		}
+	}
+}
+
+// handleNMI models the NMI handler: before any user-space access it runs
+// nmi_uaccess_okay, extended by the paper to also require that no TLB
+// flushes are pending (§3.2), so an NMI arriving between an early ack and
+// the actual flush cannot observe stale translations.
+func (c *CPU) handleNMI(p *sim.Proc) {
+	p.Delay(c.K.Cost.NMIHandler)
+	// The check itself: a couple of per-CPU loads, negligible cost.
+	_ = c.NMIUaccessOkay()
+}
+
+// NMIUaccessOkay reports whether NMI-context code may touch user memory:
+// an mm must be loaded and no user-space TLB flushes may be pending.
+func (c *CPU) NMIUaccessOkay() bool {
+	return c.curMM != nil && !c.duValid && !c.duFull
+}
+
+// --- Blocking helpers (IRQ-responsive waits) ---
+
+// WaitRequests blocks until every request is acknowledged, servicing
+// incoming IPIs meanwhile. An initiator spin-waiting with interrupts
+// disabled would deadlock against concurrent shootdowns, exactly as in
+// Linux, so the wait loop keeps IRQs flowing.
+func (c *CPU) WaitRequests(p *sim.Proc, reqs []*smp.Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	cancels := make([]func(), 0, len(reqs))
+	for _, r := range reqs {
+		cancels = append(cancels, r.AddDoneHook(func() { c.wake.Broadcast() }))
+	}
+	for {
+		c.ServiceIRQs(p)
+		p.Delay(c.K.Cost.SpinPoll)
+		c.ServiceIRQs(p)
+		// No yield between this check and the wait: acks cannot be lost.
+		if smp.AllDone(reqs) {
+			break
+		}
+		if c.Ctrl.Deliverable() {
+			continue
+		}
+		c.wake.Wait(p)
+	}
+	for i := len(cancels) - 1; i >= 0; i-- {
+		cancels[i]()
+	}
+	// The final ack invalidated our copy of the CFD line; re-read it.
+	p.Delay(c.K.Cost.SpinPoll)
+}
+
+// WaitFirstRequest blocks until at least one request is acknowledged,
+// servicing IPIs meanwhile (used by the §3.4 in-context/concurrent
+// interaction).
+func (c *CPU) WaitFirstRequest(p *sim.Proc, reqs []*smp.Request) {
+	if len(reqs) == 0 || smp.AnyDone(reqs) {
+		return
+	}
+	cancels := make([]func(), 0, len(reqs))
+	for _, r := range reqs {
+		cancels = append(cancels, r.AddDoneHook(func() { c.wake.Broadcast() }))
+	}
+	for {
+		c.ServiceIRQs(p)
+		p.Delay(c.K.Cost.SpinPoll)
+		c.ServiceIRQs(p)
+		if smp.AnyDone(reqs) {
+			break
+		}
+		if c.Ctrl.Deliverable() {
+			continue
+		}
+		c.wake.Wait(p)
+	}
+	for i := len(cancels) - 1; i >= 0; i-- {
+		cancels[i]()
+	}
+}
+
+// blockedIRQPollQuantum bounds how long a task blocked on a semaphore can
+// go without servicing interrupts. A real task sleeping in down_read has
+// IRQs enabled and handles IPIs immediately; the simulated wait wakes at
+// least this often to drain them, preventing the classic deadlock where a
+// semaphore holder waits for an ack from a CPU that is blocked on the same
+// semaphore.
+const blockedIRQPollQuantum = 800
+
+// DownRead acquires sem for reading while keeping this CPU IRQ-responsive.
+func (c *CPU) DownRead(p *sim.Proc, sem *mm.RWSem) {
+	first := true
+	for !sem.TryDownRead() {
+		if first {
+			sem.NoteContention()
+			first = false
+		}
+		sem.Changed().WaitTimeout(p, blockedIRQPollQuantum)
+		c.ServiceIRQs(p)
+	}
+}
+
+// DownWrite acquires sem exclusively while keeping this CPU
+// IRQ-responsive.
+func (c *CPU) DownWrite(p *sim.Proc, sem *mm.RWSem) {
+	first := true
+	for !sem.TryDownWrite() {
+		if first {
+			sem.NoteContention()
+			first = false
+		}
+		sem.Changed().WaitTimeout(p, blockedIRQPollQuantum)
+		c.ServiceIRQs(p)
+	}
+}
+
+// KernelRun executes d cycles of kernel-mode work (e.g. writeback page
+// copies) with interrupts enabled: incoming IPIs are serviced as they
+// arrive instead of waiting for the syscall to finish, exactly as kernel
+// code outside irq-disabled sections behaves.
+func (c *CPU) KernelRun(p *sim.Proc, d uint64) {
+	if c.inUser {
+		panic("kernel: KernelRun in user mode")
+	}
+	remaining := d
+	for remaining > 0 {
+		c.ServiceIRQs(p)
+		if c.Ctrl.Deliverable() {
+			continue
+		}
+		start := p.Now()
+		c.wake.WaitTimeout(p, remaining)
+		elapsed := uint64(p.Now() - start)
+		if elapsed >= remaining {
+			remaining = 0
+		} else {
+			remaining -= elapsed
+		}
+	}
+	c.ServiceIRQs(p)
+}
+
+// UserRun executes d cycles of user-mode computation, interruptible by
+// IPIs; interruption time is accounted to the task, not to d.
+func (c *CPU) UserRun(p *sim.Proc, d uint64) {
+	remaining := d
+	for remaining > 0 {
+		c.ServiceIRQs(p)
+		if c.Ctrl.Deliverable() {
+			continue
+		}
+		start := p.Now()
+		c.wake.WaitTimeout(p, remaining)
+		elapsed := uint64(p.Now() - start)
+		if elapsed >= remaining {
+			remaining = 0
+		} else {
+			remaining -= elapsed
+		}
+	}
+	c.ServiceIRQs(p)
+}

@@ -1,0 +1,230 @@
+// Package kernel models the per-CPU kernel execution environment the TLB
+// shootdown protocol runs in: syscall and interrupt entry/exit (with the
+// PTI trampoline surcharge), per-CPU run loops with a minimal pinned-task
+// scheduler, lazy-TLB mode, the per-CPU TLB-generation bookkeeping of
+// Linux's arch/x86/mm/tlb.c, deferred user-address-space flushes executed
+// on return to user mode, and the per-CPU state behind userspace-safe
+// batching.
+//
+// The package provides mechanism; policy — which flushes to issue, defer,
+// or skip — is implemented by the shootdown protocol in internal/core,
+// reached through the Flusher interface.
+package kernel
+
+import (
+	"fmt"
+
+	"shootdown/internal/apic"
+	"shootdown/internal/cache"
+	"shootdown/internal/mach"
+	"shootdown/internal/mm"
+	"shootdown/internal/pagetable"
+	"shootdown/internal/sim"
+	"shootdown/internal/smp"
+	"shootdown/internal/tlb"
+	"shootdown/internal/trace"
+)
+
+// Config selects machine-wide kernel behaviour.
+type Config struct {
+	// PTI enables kernel page-table isolation ("safe mode" in the paper):
+	// two PCIDs per process, trampoline surcharges on kernel entry/exit
+	// from user mode, and user-space flush obligations on every TLB flush.
+	PTI bool
+	// ConsolidatedCachelines selects the §3.3 cacheline layout in the SMP
+	// layer.
+	ConsolidatedCachelines bool
+	// TLB sizes each core's TLB.
+	TLB tlb.Config
+	// NestedPaging marks the machine as a VM with EPT-style nested
+	// translation: page walks cost more and the TLB honours the
+	// page-fracturing rule (paper §7).
+	NestedPaging bool
+	// ParavirtFractureHint is the paper's §7 proposed software mitigation:
+	// the host tells the guest that page fracturing may happen, so the
+	// guest kernel issues one full flush instead of multiple selective
+	// flushes that would each escalate to a full flush anyway.
+	ParavirtFractureHint bool
+	// HWMessageIPI enables the §6 hypothetical hardware where the IPI
+	// carries the flush information (see internal/smp).
+	HWMessageIPI bool
+	// DisablePCID models a pre-Westmere CPU without process-context
+	// identifiers (§2.1): every address-space switch fully flushes the
+	// TLB, so context-switch-heavy workloads pay constant refill costs.
+	// PTI requires PCIDs to be affordable; DisablePCID with PTI models
+	// the Meltdown-mitigation worst case the paper alludes to.
+	DisablePCID bool
+	// FullFlushThreshold is the PTE count above which a ranged flush is
+	// performed as a full flush (Linux's tlb_single_page_flush_ceiling,
+	// default 33).
+	FullFlushThreshold int
+}
+
+// DefaultConfig returns the safe-mode (PTI on) baseline configuration.
+func DefaultConfig() Config {
+	return Config{
+		PTI:                true,
+		TLB:                tlb.DefaultConfig(),
+		FullFlushThreshold: 33,
+	}
+}
+
+// Flusher is the TLB-maintenance policy the shootdown protocol implements
+// (internal/core). The kernel calls it from the fault path; syscalls call
+// it after PTE-changing operations.
+type Flusher interface {
+	// FlushAfter synchronizes TLBs after as's page tables changed per fr.
+	// Called with mmap_sem held by ctx.
+	FlushAfter(ctx *Ctx, as *mm.AddressSpace, fr mm.FlushRange)
+	// CoWFixup purges the stale local translation after a CoW break
+	// (FaultCoW results). It runs in the page-fault handler on the
+	// faulting CPU.
+	CoWFixup(ctx *Ctx, as *mm.AddressSpace, res mm.FaultResult)
+	// BatchingEnabled reports whether userspace-safe batching (§4.2) is
+	// active, so eligible system calls mark their batched sections.
+	BatchingEnabled() bool
+}
+
+// Kernel is the machine: engine, topology, cost model, coherence directory,
+// interrupt fabric, SMP layer and one CPU context per logical processor.
+type Kernel struct {
+	Eng   *sim.Engine
+	Topo  mach.Topology
+	Cost  *mach.CostModel
+	Dir   *cache.Directory
+	Bus   *apic.Bus
+	SMP   *smp.Layer
+	Cfg   Config
+	Alloc *pagetable.FrameAlloc
+
+	cpus    []*CPU
+	flusher Flusher
+	nextMM  mm.ID
+	mmLines map[mm.ID]*mmLinePair
+
+	// Trace, when non-nil, records protocol events (see internal/trace).
+	Trace *trace.Recorder
+}
+
+// mmLinePair holds the contended cachelines of one mm_struct: the TLB
+// generation counter and the active-CPU mask.
+type mmLinePair struct {
+	gen, cpumask *cache.Line
+}
+
+// New builds a kernel for the given machine.
+func New(eng *sim.Engine, topo mach.Topology, cost *mach.CostModel, cfg Config) *Kernel {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.FullFlushThreshold <= 0 {
+		cfg.FullFlushThreshold = 33
+	}
+	if cfg.TLB.Cap4K == 0 {
+		cfg.TLB = tlb.DefaultConfig()
+	}
+	if cfg.NestedPaging {
+		cfg.TLB.FractureRule = true
+	}
+	dir := cache.New(topo, cost)
+	bus := apic.NewBus(eng, topo, cost)
+	k := &Kernel{
+		Eng: eng, Topo: topo, Cost: cost, Dir: dir, Bus: bus,
+		SMP:   smp.New(eng, topo, cost, dir, bus, cfg.ConsolidatedCachelines, cfg.HWMessageIPI),
+		Cfg:   cfg,
+		Alloc: pagetable.NewFrameAlloc(),
+	}
+	k.mmLines = make(map[mm.ID]*mmLinePair)
+	k.cpus = make([]*CPU, topo.NumCPUs())
+	for i := range k.cpus {
+		k.cpus[i] = newCPU(k, mach.CPU(i))
+	}
+	return k
+}
+
+func (k *Kernel) linesOf(as *mm.AddressSpace) *mmLinePair {
+	lp, ok := k.mmLines[as.ID]
+	if !ok {
+		lp = &mmLinePair{
+			gen:     k.Dir.NewLine(fmt.Sprintf("mm[%d].tlb_gen", as.ID)),
+			cpumask: k.Dir.NewLine(fmt.Sprintf("mm[%d].cpumask", as.ID)),
+		}
+		k.mmLines[as.ID] = lp
+	}
+	return lp
+}
+
+// MMGenLine returns the cacheline holding as's TLB generation counter.
+func (k *Kernel) MMGenLine(as *mm.AddressSpace) *cache.Line { return k.linesOf(as).gen }
+
+// MMCpumaskLine returns the cacheline holding as's active-CPU mask.
+func (k *Kernel) MMCpumaskLine(as *mm.AddressSpace) *cache.Line { return k.linesOf(as).cpumask }
+
+// SetFlusher installs the TLB-maintenance policy. Must be called before
+// Start.
+func (k *Kernel) SetFlusher(f Flusher) { k.flusher = f }
+
+// Flusher returns the installed policy.
+func (k *Kernel) Flusher() Flusher {
+	if k.flusher == nil {
+		panic("kernel: no Flusher installed")
+	}
+	return k.flusher
+}
+
+// CPU returns the context of a logical CPU.
+func (k *Kernel) CPU(id mach.CPU) *CPU { return k.cpus[id] }
+
+// CPUs returns all CPU contexts.
+func (k *Kernel) CPUs() []*CPU { return k.cpus }
+
+// NewAddressSpace creates a process address space with a fresh mmap_sem.
+func (k *Kernel) NewAddressSpace() *mm.AddressSpace {
+	k.nextMM++
+	sem := mm.NewRWSem(k.Eng, fmt.Sprintf("mmap_sem[%d]", k.nextMM))
+	return mm.NewAddressSpace(k.nextMM, k.Alloc, sem)
+}
+
+// NewFile creates a simulated file backed by the machine's frame allocator.
+func (k *Kernel) NewFile(name string, size uint64) *mm.File {
+	return mm.NewFile(name, size, k.Alloc)
+}
+
+// ForkAddressSpace clones parent copy-on-write, returning the child, the
+// parent's flush obligation (write-protected pages) and the bookkeeping
+// volume for cost charging.
+func (k *Kernel) ForkAddressSpace(parent *mm.AddressSpace) (*mm.AddressSpace, mm.FlushRange, mm.ForkStats) {
+	k.nextMM++
+	sem := mm.NewRWSem(k.Eng, fmt.Sprintf("mmap_sem[%d]", k.nextMM))
+	return parent.Fork(k.nextMM, sem)
+}
+
+// EnableTrace attaches a protocol-event recorder (see internal/trace) and
+// returns it. Call before Start.
+func (k *Kernel) EnableTrace() *trace.Recorder {
+	k.Trace = trace.New(k.Eng)
+	k.SMP.AckHook = func(target mach.CPU, early bool) {
+		k.Trace.Record(target, trace.Ack, "early=%v", early)
+	}
+	return k.Trace
+}
+
+// Start spawns every CPU's run loop. Call once, before Engine.Run.
+func (k *Kernel) Start() {
+	if k.flusher == nil {
+		panic("kernel: Start before SetFlusher")
+	}
+	for _, c := range k.cpus {
+		c.startLoop()
+	}
+}
+
+// PCIDOf returns the PCID a CPU mode uses for as: under PTI, user-mode
+// accesses run on the user PCID and kernel-mode accesses on the kernel
+// PCID; without PTI there is a single (kernel) PCID.
+func (k *Kernel) PCIDOf(as *mm.AddressSpace, userMode bool) tlb.PCID {
+	if k.Cfg.PTI && userMode {
+		return as.UserPCID
+	}
+	return as.KernelPCID
+}

@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"shootdown/internal/mm"
+	"shootdown/internal/sim"
+	"shootdown/internal/trace"
+)
+
+// Task is a user thread pinned to a CPU.
+type Task struct {
+	// Name identifies the task in traces.
+	Name string
+	// MM is the task's address space; threads of one process share it.
+	MM *mm.AddressSpace
+	// Fn is the task body, running in the CPU's context.
+	Fn func(*Ctx)
+
+	cpu      *CPU
+	done     bool
+	doneCond *sim.Cond
+}
+
+// Done reports whether the task body returned.
+func (t *Task) Done() bool { return t.done }
+
+// Join blocks p until the task completes.
+func (t *Task) Join(p *sim.Proc) {
+	for !t.done {
+		t.doneCond.Wait(p)
+	}
+}
+
+// Ctx is the execution context handed to a task body: the kernel, the CPU
+// it runs on, and its process.
+type Ctx struct {
+	K    *Kernel
+	CPU  *CPU
+	P    *sim.Proc
+	Task *Task
+}
+
+// MM returns the task's address space.
+func (ctx *Ctx) MM() *mm.AddressSpace { return ctx.Task.MM }
+
+// EnterSyscall crosses into the kernel, charging the entry cost (plus the
+// PTI trampoline in safe mode).
+func (ctx *Ctx) EnterSyscall() {
+	c := ctx.CPU
+	if !c.inUser {
+		panic("kernel: EnterSyscall while already in kernel")
+	}
+	c.inUser = false
+	c.K.chargeEntry(ctx.P)
+	c.K.Trace.Record(c.ID, trace.SyscallEnter, "")
+	// Any kernel entry is a LATR sweep point (lazy-shootdown extension).
+	c.DrainLazyWork(ctx.P)
+}
+
+// ExitSyscall returns to user mode: pending deferred user-PCID flushes are
+// executed first (the in-context flush point, §3.4), then the exit path
+// (plus PTI trampoline) is charged.
+func (ctx *Ctx) ExitSyscall() {
+	c := ctx.CPU
+	if c.inUser {
+		panic("kernel: ExitSyscall while in user mode")
+	}
+	p := ctx.P
+	p.Delay(c.K.Cost.SyscallExit)
+	if c.K.Cfg.PTI {
+		c.runDeferredUserFlushes(p)
+		p.Delay(c.K.Cost.PTITrampoline)
+	}
+	c.inUser = true
+	c.K.Trace.Record(c.ID, trace.SyscallExit, "")
+	// Back in user mode: deliver anything that arrived during the exit.
+	c.ServiceIRQs(p)
+}
+
+// UserRun executes d cycles of user computation (see CPU.UserRun).
+func (ctx *Ctx) UserRun(d uint64) { ctx.CPU.UserRun(ctx.P, d) }
+
+func (k *Kernel) chargeEntry(p *sim.Proc) {
+	p.Delay(k.Cost.SyscallEntry)
+	if k.Cfg.PTI {
+		p.Delay(k.Cost.PTITrampoline)
+	}
+}

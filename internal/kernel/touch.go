@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"fmt"
+
+	"shootdown/internal/mm"
+	"shootdown/internal/pagetable"
+	"shootdown/internal/tlb"
+)
+
+// Touch performs one user-mode memory access at va: TLB lookup, page walk
+// on a miss, and the full page-fault path (demand paging, CoW, dirty
+// tracking) when the walk cannot satisfy the access. Costs are charged as
+// the hardware and kernel would incur them.
+func (ctx *Ctx) Touch(va uint64, access mm.Access) error {
+	c := ctx.CPU
+	if !c.inUser {
+		panic("kernel: Touch outside user mode")
+	}
+	as := c.curMM
+	pcid := c.K.PCIDOf(as, true)
+	for attempt := 0; ; attempt++ {
+		if attempt > 4 {
+			return fmt.Errorf("kernel: access at %#x loops in fault handler", va)
+		}
+		if e, ok := c.TLB.Lookup(pcid, va); ok {
+			if !permits(e.Flags, access) {
+				// Stale or insufficient cached translation: the access
+				// faults; hardware drops the faulting entry.
+				c.TLB.FlushPage(pcid, va)
+				if err := ctx.pageFault(va, access); err != nil {
+					return err
+				}
+				continue
+			}
+			ctx.P.Delay(c.K.Cost.L1Hit)
+			return nil
+		}
+		// TLB miss: hardware page walk.
+		ctx.chargeWalk(va)
+		tr, err := as.PT.Walk(va)
+		if err == nil && permits(tr.Flags, access) {
+			c.fillTLB(pcid, tr)
+			ctx.P.Delay(c.K.Cost.L1Hit)
+			return nil
+		}
+		if err := ctx.pageFault(va, access); err != nil {
+			return err
+		}
+	}
+}
+
+// chargeWalk charges a hardware page walk, consulting the page-walk cache
+// and applying the nested-paging multiplier when running as a VM.
+func (ctx *Ctx) chargeWalk(va uint64) {
+	c := ctx.CPU
+	cost := c.K.Cost.PageWalkFull
+	if c.TLB.WalkCacheLookup(va) {
+		cost = c.K.Cost.PageWalkPWCHit
+	}
+	if c.K.Cfg.NestedPaging {
+		cost *= c.K.Cost.PageWalkNestedFactor
+	}
+	ctx.P.Delay(cost)
+}
+
+func (c *CPU) fillTLB(pcid tlb.PCID, tr pagetable.Translation) {
+	c.TLB.Fill(pcid, tlb.Entry{
+		VA:     tr.VA,
+		Frame:  tr.Frame,
+		Flags:  tr.Flags,
+		Size:   tr.Size,
+		Global: tr.Flags.Has(pagetable.Global),
+	})
+}
+
+func permits(f pagetable.Flags, access mm.Access) bool {
+	if !f.Has(pagetable.Present) {
+		return false
+	}
+	if f.Has(pagetable.ProtNone) {
+		// NUMA-balancing hint: present but inaccessible until the hint
+		// fault consumes it.
+		return false
+	}
+	switch access {
+	case mm.AccessWrite:
+		return f.Has(pagetable.Write)
+	case mm.AccessExec:
+		return !f.Has(pagetable.NX)
+	default:
+		return true
+	}
+}
+
+// pageFault runs the page-fault handler for a user access.
+func (ctx *Ctx) pageFault(va uint64, access mm.Access) error {
+	c := ctx.CPU
+	p := ctx.P
+	as := c.curMM
+
+	wasUser := c.inUser
+	c.inUser = false
+	p.Delay(c.K.Cost.PageFaultEntry)
+	if wasUser && c.K.Cfg.PTI {
+		p.Delay(c.K.Cost.PTITrampoline)
+	}
+
+	c.DownRead(p, as.MmapSem)
+	p.Delay(c.K.Cost.RWSemUncontended)
+	p.Delay(c.K.Cost.VMAFind)
+
+	res, ferr := as.HandleFault(va, access)
+	if ferr == nil {
+		p.Delay(c.K.Cost.PTEUpdate)
+		if res.CopiedPage {
+			p.Delay(c.K.Cost.CopyPage4K)
+		}
+		if res.Huge && res.Kind == mm.FaultPopulate {
+			// Zeroing a fresh 2 MiB page.
+			p.Delay(c.K.Cost.CopyPage2M)
+		}
+		if res.Kind == mm.FaultCoW {
+			// The protocol decides how to purge the stale translation
+			// (flush vs. the §4.1 write trick) and whether remote cores
+			// need a shootdown.
+			c.K.Flusher().CoWFixup(ctx, as, res)
+		}
+	}
+
+	as.MmapSem.UpRead(p)
+	p.Delay(c.K.Cost.RWSemUncontended)
+
+	// Return from the exception.
+	p.Delay(c.K.Cost.IRQExit)
+	if wasUser && c.K.Cfg.PTI {
+		c.runDeferredUserFlushes(p)
+		p.Delay(c.K.Cost.PTITrampoline)
+	}
+	c.inUser = wasUser
+	return ferr
+}

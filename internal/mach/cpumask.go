@@ -1,0 +1,94 @@
+package mach
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// CPUMask is a set of logical CPUs, the simulated analogue of the kernel's
+// cpumask_t. The zero value is the empty set. Masks support machines of up
+// to 128 logical CPUs, which covers the default 56-CPU topology.
+type CPUMask struct {
+	w [2]uint64
+}
+
+// MaskOf returns a mask containing exactly the given CPUs.
+func MaskOf(cpus ...CPU) CPUMask {
+	var m CPUMask
+	for _, c := range cpus {
+		m.Set(c)
+	}
+	return m
+}
+
+// Set adds cpu to the mask.
+func (m *CPUMask) Set(cpu CPU) {
+	m.w[int(cpu)/64] |= 1 << (uint(cpu) % 64)
+}
+
+// Clear removes cpu from the mask.
+func (m *CPUMask) Clear(cpu CPU) {
+	m.w[int(cpu)/64] &^= 1 << (uint(cpu) % 64)
+}
+
+// Has reports whether cpu is in the mask.
+func (m CPUMask) Has(cpu CPU) bool {
+	return m.w[int(cpu)/64]&(1<<(uint(cpu)%64)) != 0
+}
+
+// Count returns the number of CPUs in the mask.
+func (m CPUMask) Count() int {
+	return bits.OnesCount64(m.w[0]) + bits.OnesCount64(m.w[1])
+}
+
+// Empty reports whether the mask contains no CPUs.
+func (m CPUMask) Empty() bool { return m.w[0] == 0 && m.w[1] == 0 }
+
+// And returns the intersection of m and o.
+func (m CPUMask) And(o CPUMask) CPUMask {
+	return CPUMask{w: [2]uint64{m.w[0] & o.w[0], m.w[1] & o.w[1]}}
+}
+
+// Or returns the union of m and o.
+func (m CPUMask) Or(o CPUMask) CPUMask {
+	return CPUMask{w: [2]uint64{m.w[0] | o.w[0], m.w[1] | o.w[1]}}
+}
+
+// AndNot returns the CPUs in m that are not in o.
+func (m CPUMask) AndNot(o CPUMask) CPUMask {
+	return CPUMask{w: [2]uint64{m.w[0] &^ o.w[0], m.w[1] &^ o.w[1]}}
+}
+
+// Without returns m with cpu removed.
+func (m CPUMask) Without(cpu CPU) CPUMask {
+	m.Clear(cpu)
+	return m
+}
+
+// CPUs returns the members of the mask in ascending order.
+func (m CPUMask) CPUs() []CPU {
+	cpus := make([]CPU, 0, m.Count())
+	for wi, w := range m.w {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			cpus = append(cpus, CPU(wi*64+b))
+			w &^= 1 << uint(b)
+		}
+	}
+	return cpus
+}
+
+// String renders the mask as a comma-separated CPU list, e.g. "0,3,17".
+func (m CPUMask) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, c := range m.CPUs() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(int(c)))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

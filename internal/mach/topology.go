@@ -1,0 +1,174 @@
+// Package mach describes the simulated machine: CPU topology (sockets,
+// physical cores, SMT threads) and the calibrated cost model, in cycles, for
+// every hardware primitive the TLB shootdown protocol touches.
+//
+// The default topology mirrors the paper's testbed: a dual-socket Intel Xeon
+// E5-2660v4 with 14 physical cores (28 SMT threads) per socket.
+package mach
+
+import "fmt"
+
+// CPU is a logical CPU (hardware thread) identifier, dense in [0, NumCPUs).
+type CPU int
+
+// Topology describes the CPU layout of the machine. Logical CPUs are
+// numbered socket-major, core-major, thread-minor:
+//
+//	cpu = socket*CoresPerSocket*ThreadsPerCore + core*ThreadsPerCore + thread
+type Topology struct {
+	Sockets        int // NUMA nodes
+	CoresPerSocket int // physical cores per socket
+	ThreadsPerCore int // SMT threads per physical core
+}
+
+// DefaultTopology mirrors the paper's Dell R630 testbed: 2 sockets x 14
+// physical cores x 2 SMT threads = 56 logical CPUs.
+func DefaultTopology() Topology {
+	return Topology{Sockets: 2, CoresPerSocket: 14, ThreadsPerCore: 2}
+}
+
+// Validate reports whether the topology is usable.
+func (t Topology) Validate() error {
+	if t.Sockets < 1 || t.CoresPerSocket < 1 || t.ThreadsPerCore < 1 {
+		return fmt.Errorf("mach: invalid topology %+v", t)
+	}
+	return nil
+}
+
+// NumCPUs returns the number of logical CPUs.
+func (t Topology) NumCPUs() int { return t.Sockets * t.CoresPerSocket * t.ThreadsPerCore }
+
+// SocketOf returns the socket (NUMA node) containing cpu.
+func (t Topology) SocketOf(cpu CPU) int {
+	return int(cpu) / (t.CoresPerSocket * t.ThreadsPerCore)
+}
+
+// CoreOf returns the global physical-core index containing cpu.
+func (t Topology) CoreOf(cpu CPU) int { return int(cpu) / t.ThreadsPerCore }
+
+// ThreadOf returns the SMT thread index of cpu within its physical core.
+func (t Topology) ThreadOf(cpu CPU) int { return int(cpu) % t.ThreadsPerCore }
+
+// SameCore reports whether a and b are SMT siblings on one physical core.
+func (t Topology) SameCore(a, b CPU) bool { return t.CoreOf(a) == t.CoreOf(b) }
+
+// SameSocket reports whether a and b share a socket.
+func (t Topology) SameSocket(a, b CPU) bool { return t.SocketOf(a) == t.SocketOf(b) }
+
+// SMTSibling returns the other hardware thread of cpu's physical core.
+// With ThreadsPerCore == 1 it returns cpu itself.
+func (t Topology) SMTSibling(cpu CPU) CPU {
+	core := t.CoreOf(cpu)
+	thread := (t.ThreadOf(cpu) + 1) % t.ThreadsPerCore
+	return CPU(core*t.ThreadsPerCore + thread)
+}
+
+// CPUsOfSocket returns the logical CPUs of the given socket in id order.
+func (t Topology) CPUsOfSocket(socket int) []CPU {
+	per := t.CoresPerSocket * t.ThreadsPerCore
+	cpus := make([]CPU, 0, per)
+	for i := 0; i < per; i++ {
+		cpus = append(cpus, CPU(socket*per+i))
+	}
+	return cpus
+}
+
+// Distance classifies the communication distance between two logical CPUs.
+type Distance int
+
+const (
+	// DistSelf is the same logical CPU.
+	DistSelf Distance = iota
+	// DistSMT is a sibling hardware thread on the same physical core.
+	DistSMT
+	// DistSocket is a different core on the same socket.
+	DistSocket
+	// DistCross is a core on a different socket, across the interconnect.
+	DistCross
+)
+
+// String returns a short human-readable name for the distance class.
+func (d Distance) String() string {
+	switch d {
+	case DistSelf:
+		return "self"
+	case DistSMT:
+		return "smt"
+	case DistSocket:
+		return "socket"
+	case DistCross:
+		return "cross"
+	}
+	return fmt.Sprintf("Distance(%d)", int(d))
+}
+
+// DistanceBetween returns the distance class from a to b.
+func (t Topology) DistanceBetween(a, b CPU) Distance {
+	switch {
+	case a == b:
+		return DistSelf
+	case t.SameCore(a, b):
+		return DistSMT
+	case t.SameSocket(a, b):
+		return DistSocket
+	default:
+		return DistCross
+	}
+}
+
+// Placement names the initiator/responder placements used throughout the
+// paper's microbenchmarks (Figures 5-8).
+type Placement int
+
+const (
+	// PlaceSameCore puts the responder on the initiator's SMT sibling.
+	PlaceSameCore Placement = iota
+	// PlaceSameSocket puts the responder on another core of the same socket.
+	PlaceSameSocket
+	// PlaceCrossSocket puts the responder on the other socket.
+	PlaceCrossSocket
+)
+
+// String returns the placement name as used in experiment output.
+func (p Placement) String() string {
+	switch p {
+	case PlaceSameCore:
+		return "same-core"
+	case PlaceSameSocket:
+		return "same-socket"
+	case PlaceCrossSocket:
+		return "cross-socket"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// Placements lists all placements in presentation order.
+func Placements() []Placement {
+	return []Placement{PlaceSameCore, PlaceSameSocket, PlaceCrossSocket}
+}
+
+// ResponderFor picks a responder CPU for the given initiator and placement.
+func (t Topology) ResponderFor(initiator CPU, p Placement) CPU {
+	switch p {
+	case PlaceSameCore:
+		if t.ThreadsPerCore < 2 {
+			panic("mach: same-core placement requires SMT")
+		}
+		return t.SMTSibling(initiator)
+	case PlaceSameSocket:
+		sib := t.SMTSibling(initiator)
+		for _, c := range t.CPUsOfSocket(t.SocketOf(initiator)) {
+			if c != initiator && c != sib {
+				return c
+			}
+		}
+		panic("mach: no same-socket responder available")
+	case PlaceCrossSocket:
+		if t.Sockets < 2 {
+			panic("mach: cross-socket placement requires >= 2 sockets")
+		}
+		other := (t.SocketOf(initiator) + 1) % t.Sockets
+		return t.CPUsOfSocket(other)[0]
+	}
+	panic("mach: unknown placement")
+}

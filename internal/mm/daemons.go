@@ -1,0 +1,159 @@
+package mm
+
+import (
+	"fmt"
+	"sort"
+
+	"shootdown/internal/pagetable"
+)
+
+// Daemon-side memory operations: the TLB-flush sources the paper lists in
+// §2.1 beyond application system calls — memory deduplication (KSM), page
+// reclamation, and NUMA-balancing migration. Each mutates PTEs and
+// returns the flush work; the daemons package drives them and hands the
+// ranges to the shootdown protocol.
+
+// DedupPages merges two identical anonymous pages (KSM): both PTEs are
+// write-protected and pointed at one shared frame; the duplicate frame is
+// freed. The caller asserts content equality (the simulation does not
+// model page contents). Both old translations become stale-harmful, so
+// the returned ranges must be flushed everywhere the mm is active.
+func (as *AddressSpace) DedupPages(va1, va2 uint64) ([]FlushRange, error) {
+	if va1 == va2 {
+		return nil, fmt.Errorf("%w: dedup of a page with itself", ErrBadRange)
+	}
+	var ptes [2]pagetable.PTE
+	for i, va := range []uint64{va1, va2} {
+		v := as.vmas.find(va)
+		if v == nil || v.Kind != Anon || v.HugePages {
+			return nil, fmt.Errorf("%w: dedup target %#x not small-page anon", ErrNoVMA, va)
+		}
+		pte, size, err := as.PT.Lookup(va &^ (pagetable.PageSize4K - 1))
+		if err != nil || size != pagetable.Size4K {
+			return nil, fmt.Errorf("mm: dedup target %#x not mapped 4K: %v", va, err)
+		}
+		ptes[i] = pte
+	}
+	p1 := va1 &^ (pagetable.PageSize4K - 1)
+	p2 := va2 &^ (pagetable.PageSize4K - 1)
+	if ptes[0].Frame == ptes[1].Frame {
+		return nil, fmt.Errorf("mm: pages already share frame %d", ptes[0].Frame)
+	}
+	keep := ptes[0].Frame
+	// Reference accounting: the kept frame now has the sum of both pages'
+	// references; the duplicate loses its only (or shared) reference.
+	if as.sharedAnon.Shared(keep) {
+		as.sharedAnon.Add(keep, 1)
+	} else {
+		as.sharedAnon.Add(keep, 2)
+	}
+	as.releaseAnonFrame(ptes[1].Frame, pagetable.Size4K)
+
+	roFlags := (ptes[0].Flags &^ (pagetable.Write | pagetable.Dirty | pagetable.Huge)) |
+		pagetable.User | pagetable.Accessed
+	if err := as.PT.ClearFlags(p1, pagetable.Write|pagetable.Dirty); err != nil {
+		return nil, err
+	}
+	if err := as.PT.Remap(p2, keep, roFlags); err != nil {
+		return nil, err
+	}
+	return []FlushRange{
+		{Start: p1, End: p1 + pagetable.PageSize4K, Stride: pagetable.Size4K, Pages: 1},
+		{Start: p2, End: p2 + pagetable.PageSize4K, Stride: pagetable.Size4K, Pages: 1},
+	}, nil
+}
+
+// SharedAnonRefs returns the KSM reference count of frame (0 = unshared).
+func (as *AddressSpace) SharedAnonRefs(frame uint64) int { return as.sharedAnon.Refs(frame) }
+
+// MigratePage moves the anonymous page at va to a fresh frame (NUMA
+// migration: the new frame stands for memory on the target node). The old
+// translation is stale-harmful; the caller flushes and charges the copy.
+func (as *AddressSpace) MigratePage(va uint64) (FlushRange, error) {
+	page := va &^ (pagetable.PageSize4K - 1)
+	v := as.vmas.find(page)
+	if v == nil || v.Kind != Anon || v.HugePages {
+		return FlushRange{}, fmt.Errorf("%w: migrate target %#x not small-page anon", ErrNoVMA, va)
+	}
+	pte, size, err := as.PT.Lookup(page)
+	if err != nil || size != pagetable.Size4K {
+		return FlushRange{}, fmt.Errorf("mm: migrate target %#x not mapped 4K: %v", va, err)
+	}
+	if as.sharedAnon.Shared(pte.Frame) {
+		return FlushRange{}, fmt.Errorf("mm: migrate target %#x is KSM-shared", va)
+	}
+	newFrame := as.alloc.Alloc()
+	if err := as.PT.Remap(page, newFrame, pte.Flags&^pagetable.Huge); err != nil {
+		as.alloc.Free(newFrame)
+		return FlushRange{}, err
+	}
+	as.alloc.Free(pte.Frame)
+	return FlushRange{Start: page, End: page + pagetable.PageSize4K, Stride: pagetable.Size4K, Pages: 1}, nil
+}
+
+// NUMAHintRange installs ProtNone hints on the present small pages of
+// [start, end) (change_prot_numa): the next access to each page faults so
+// the balancer can observe locality. The PTE change requires a flush —
+// this is exactly the path the paper's footnote 1 discusses (LATR's
+// missing mmap_sem in task_numa_work).
+func (as *AddressSpace) NUMAHintRange(start, end uint64) (FlushRange, error) {
+	if !pageAligned(start) || !pageAligned(end) || start >= end {
+		return FlushRange{}, fmt.Errorf("%w: numa hint [%#x,%#x)", ErrBadRange, start, end)
+	}
+	var pages int
+	var lo, hi uint64
+	as.PT.VisitRange(start, end, func(tr pagetable.Translation) {
+		if tr.Size != pagetable.Size4K || tr.Flags.Has(pagetable.ProtNone) {
+			return
+		}
+		must(as.PT.SetFlags(tr.VA, pagetable.ProtNone))
+		if pages == 0 || tr.VA < lo {
+			lo = tr.VA
+		}
+		if tr.VA+pagetable.PageSize4K > hi {
+			hi = tr.VA + pagetable.PageSize4K
+		}
+		pages++
+	})
+	if pages == 0 {
+		return FlushRange{}, nil
+	}
+	return FlushRange{Start: lo, End: hi, Stride: pagetable.Size4K, Pages: pages}, nil
+}
+
+// ReclaimCleanFilePages evicts up to maxPages clean (non-dirty) page-cache
+// mappings of file from this address space (kswapd-style reclaim): the
+// PTEs are unmapped, the page-cache frames stay, and the VMAs remain so
+// later accesses refault. Returns the per-page virtual addresses reclaimed
+// and the covering FlushRange.
+func (as *AddressSpace) ReclaimCleanFilePages(file *File, maxPages int) ([]uint64, FlushRange, error) {
+	var victims []uint64
+	for _, v := range as.vmas.all() {
+		if v.File != file || v.Kind != FileShared {
+			continue
+		}
+		as.PT.VisitRange(v.Start, v.End, func(tr pagetable.Translation) {
+			if len(victims) >= maxPages {
+				return
+			}
+			if tr.Flags.Has(pagetable.Dirty) {
+				return // dirty pages need writeback first
+			}
+			victims = append(victims, tr.VA)
+		})
+	}
+	if len(victims) == 0 {
+		return nil, FlushRange{}, nil
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, va := range victims {
+		if _, err := as.PT.Unmap(va); err != nil {
+			return nil, FlushRange{}, err
+		}
+	}
+	fr := FlushRange{
+		Start: victims[0], End: victims[len(victims)-1] + pagetable.PageSize4K,
+		Stride: pagetable.Size4K, Pages: len(victims),
+	}
+	return victims, fr, nil
+}

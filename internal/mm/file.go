@@ -1,0 +1,93 @@
+package mm
+
+import (
+	"sort"
+
+	"shootdown/internal/pagetable"
+)
+
+// File is a simulated file with a page cache: memory-mapped I/O workloads
+// (Sysbench's mmap+fdatasync, Apache's per-request file maps) operate on
+// these. Page-cache frames are allocated lazily on first access.
+type File struct {
+	// Name identifies the file in reports.
+	Name string
+	// Size is the file length in bytes.
+	Size uint64
+
+	alloc  *pagetable.FrameAlloc
+	frames map[uint64]uint64 // page index -> frame
+	// dirty tracks page indexes written through shared mappings and not
+	// yet written back. fdatasync consumes this set.
+	dirty map[uint64]struct{}
+
+	// mappers are the address spaces currently mapping the file (a
+	// simplified reverse map used by writeback).
+	mappers map[*AddressSpace]int
+}
+
+// NewFile creates a file of the given size whose page-cache frames come
+// from alloc.
+func NewFile(name string, size uint64, alloc *pagetable.FrameAlloc) *File {
+	return &File{
+		Name: name, Size: size, alloc: alloc,
+		frames:  make(map[uint64]uint64),
+		dirty:   make(map[uint64]struct{}),
+		mappers: make(map[*AddressSpace]int),
+	}
+}
+
+// Pages returns the file length in 4 KiB pages (rounded up).
+func (f *File) Pages() uint64 {
+	return (f.Size + pagetable.PageSize4K - 1) / pagetable.PageSize4K
+}
+
+// frame returns (allocating if needed) the page-cache frame for page idx.
+func (f *File) frame(idx uint64) uint64 {
+	if fr, ok := f.frames[idx]; ok {
+		return fr
+	}
+	fr := f.alloc.Alloc()
+	f.frames[idx] = fr
+	return fr
+}
+
+// MarkDirty records a shared-mapping write to page idx.
+func (f *File) MarkDirty(idx uint64) { f.dirty[idx] = struct{}{} }
+
+// DirtyCount returns the number of dirty page-cache pages.
+func (f *File) DirtyCount() int { return len(f.dirty) }
+
+// TakeDirty removes and returns the dirty page indexes intersecting
+// [startIdx, endIdx), sorted ascending. Writeback calls this, then
+// write-protects the corresponding PTEs in every mapper.
+func (f *File) TakeDirty(startIdx, endIdx uint64) []uint64 {
+	var out []uint64
+	for idx := range f.dirty {
+		if idx >= startIdx && idx < endIdx {
+			out = append(out, idx)
+		}
+	}
+	for _, idx := range out {
+		delete(f.dirty, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Mappers returns the address spaces currently mapping the file.
+func (f *File) Mappers() []*AddressSpace {
+	out := make([]*AddressSpace, 0, len(f.mappers))
+	for as := range f.mappers {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (f *File) addMapper(as *AddressSpace) { f.mappers[as]++ }
+func (f *File) removeMapper(as *AddressSpace) {
+	if f.mappers[as]--; f.mappers[as] <= 0 {
+		delete(f.mappers, as)
+	}
+}

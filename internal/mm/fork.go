@@ -1,0 +1,100 @@
+package mm
+
+import (
+	"shootdown/internal/pagetable"
+)
+
+// Fork clones this address space copy-on-write, the canonical source of
+// the CoW faults §4.1 optimizes. The child gets its own page tables
+// mapping the same frames; every writable private page is write-protected
+// in BOTH address spaces (so either side's first write faults), which
+// obligates the parent to flush the write-protected PTEs from every TLB —
+// fork is itself a shootdown source.
+//
+// Returns the child and the parent's flush obligation (the child has no
+// TLB presence yet, so only the parent needs flushing). ForkStats reports
+// the work done so the kernel layer can charge costs.
+func (as *AddressSpace) Fork(childID ID, childSem *RWSem) (*AddressSpace, FlushRange, ForkStats) {
+	child := NewAddressSpace(childID, as.alloc, childSem)
+	child.mmapCursor = as.mmapCursor
+	// Parent and child share one refcount table: they reference the same
+	// frames.
+	child.sharedAnon = as.sharedAnon
+
+	var st ForkStats
+	var lo, hi uint64
+	protected := 0
+
+	for _, v := range as.vmas.all() {
+		cv := *v
+		child.vmas.insert(&cv)
+		if v.File != nil {
+			v.File.addMapper(child)
+		}
+		st.VMAs++
+		as.PT.VisitRange(v.Start, v.End, func(tr pagetable.Translation) {
+			st.PTEs++
+			flags := tr.Flags
+			shareFrame := tr.Frame
+			switch v.Kind {
+			case FileShared:
+				// Shared mappings stay shared and writable.
+			case Anon, FilePrivate:
+				private := v.Kind == Anon || as.frameIsPrivateCopy(v, tr)
+				if private && tr.Size == pagetable.Size4K {
+					// Share the frame CoW: bump the shared refcount and
+					// write-protect everywhere.
+					if as.sharedAnon.Shared(tr.Frame) {
+						as.sharedAnon.Add(tr.Frame, 1)
+					} else {
+						as.sharedAnon.Add(tr.Frame, 2)
+					}
+					if flags.Has(pagetable.Write) {
+						must(as.PT.ClearFlags(tr.VA, pagetable.Write))
+						flags &^= pagetable.Write
+						if protected == 0 || tr.VA < lo {
+							lo = tr.VA
+						}
+						if tr.VA+tr.Size.Bytes() > hi {
+							hi = tr.VA + tr.Size.Bytes()
+						}
+						protected++
+					}
+				} else if private {
+					// Huge private pages: copy eagerly (the kernel splits
+					// or copies THP on fork depending on configuration;
+					// eager copy keeps the model simple and safe).
+					shareFrame = as.alloc.AllocContig(int(tr.Size.Bytes() / pagetable.PageSize4K))
+					st.PagesCopied += int(tr.Size.Bytes() / pagetable.PageSize4K)
+				}
+			}
+			size := tr.Size
+			if err := child.PT.Map(tr.VA, shareFrame, size, flags&^pagetable.Huge); err != nil {
+				panic(err)
+			}
+		})
+	}
+	st.PTEsWriteProtected = protected
+
+	var fr FlushRange
+	if protected > 0 {
+		fr = FlushRange{Start: lo, End: hi, Stride: pagetable.Size4K, Pages: protected}
+	}
+	return child, fr, st
+}
+
+// ForkStats reports the bookkeeping volume of a Fork, for cost charging.
+type ForkStats struct {
+	VMAs               int
+	PTEs               int
+	PTEsWriteProtected int
+	PagesCopied        int
+}
+
+// frameIsPrivateCopy reports whether the frame mapped at tr is a private
+// CoW copy rather than the shared page cache (FilePrivate VMAs only).
+func (as *AddressSpace) frameIsPrivateCopy(v *VMA, tr pagetable.Translation) bool {
+	idx := v.fileOffsetOf(tr.VA) / pagetable.PageSize4K
+	cached, ok := v.File.frames[idx]
+	return !ok || cached != tr.Frame
+}

@@ -1,0 +1,167 @@
+package mm
+
+import (
+	"testing"
+
+	"shootdown/internal/pagetable"
+	"shootdown/internal/sim"
+)
+
+func doFork(t *testing.T, parent *AddressSpace) (*AddressSpace, FlushRange, ForkStats) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	return parent.Fork(parent.ID+1, NewRWSem(eng, "child_sem"))
+}
+
+func TestForkSharesAnonCoW(t *testing.T) {
+	as, _ := newAS(t)
+	v, _ := as.MMap(4*pg, ProtRead|ProtWrite, Anon, nil, 0)
+	as.HandleFault(v.Start, AccessWrite)
+	as.HandleFault(v.Start+pg, AccessWrite)
+
+	child, fr, st := doFork(t, as)
+	if st.PTEs != 2 || st.PTEsWriteProtected != 2 || st.VMAs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if fr.Pages != 2 {
+		t.Fatalf("parent flush = %+v", fr)
+	}
+	// Both sides map the same frame, read-only.
+	pp, _, _ := as.PT.Lookup(v.Start)
+	cp, _, _ := child.PT.Lookup(v.Start)
+	if pp.Frame != cp.Frame {
+		t.Fatal("fork did not share the frame")
+	}
+	if pp.Flags.Has(pagetable.Write) || cp.Flags.Has(pagetable.Write) {
+		t.Fatal("shared pages still writable")
+	}
+	if as.SharedAnonRefs(pp.Frame) != 2 {
+		t.Fatalf("refs = %d", as.SharedAnonRefs(pp.Frame))
+	}
+
+	// Parent write: CoW break; child keeps the original data frame.
+	res, err := as.HandleFault(v.Start, AccessWrite)
+	if err != nil || res.Kind != FaultCoW {
+		t.Fatalf("parent write = %+v, %v", res, err)
+	}
+	cp2, _, _ := child.PT.Lookup(v.Start)
+	if cp2.Frame != pp.Frame {
+		t.Fatal("child lost its frame on parent CoW")
+	}
+	// Child write on the second page: CoW there too; after both CoWs the
+	// original frame of page 2 is released when the last sharer writes.
+	res, err = child.HandleFault(v.Start+pg, AccessWrite)
+	if err != nil || res.Kind != FaultCoW {
+		t.Fatalf("child write = %+v, %v", res, err)
+	}
+	// Page 2's frame now has one remaining sharer (the parent), so it is
+	// no longer tracked as shared.
+	pp2, _, _ := as.PT.Lookup(v.Start + pg)
+	if child.SharedAnonRefs(pp2.Frame) != 0 {
+		t.Fatalf("refs after child CoW = %d, want untracked sole owner", child.SharedAnonRefs(pp2.Frame))
+	}
+	// Parent's sole-owner write now reuses in place (no copy).
+	res, err = as.HandleFault(v.Start+pg, AccessWrite)
+	if err != nil || res.Kind != FaultMkWrite {
+		t.Fatalf("parent reuse = %+v, %v", res, err)
+	}
+}
+
+func TestForkSharedFileStaysWritable(t *testing.T) {
+	as, alloc := newAS(t)
+	f := NewFile("shm", 4*pg, alloc)
+	v, _ := as.MMap(4*pg, ProtRead|ProtWrite, FileShared, f, 0)
+	as.HandleFault(v.Start, AccessWrite)
+
+	child, fr, _ := doFork(t, as)
+	if fr.Pages != 0 {
+		t.Fatalf("shared file pages were write-protected: %+v", fr)
+	}
+	cp, _, _ := child.PT.Lookup(v.Start)
+	if !cp.Flags.Has(pagetable.Write) {
+		t.Fatal("child's shared mapping lost Write")
+	}
+	// The child is registered as a mapper for writeback.
+	found := false
+	for _, m := range f.Mappers() {
+		if m == child {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("child not registered as file mapper")
+	}
+}
+
+func TestForkPrivateFile(t *testing.T) {
+	as, alloc := newAS(t)
+	f := NewFile("lib", 4*pg, alloc)
+	v, _ := as.MMap(4*pg, ProtRead|ProtWrite, FilePrivate, f, 0)
+	as.HandleFault(v.Start, AccessRead)     // page-cache RO
+	as.HandleFault(v.Start+pg, AccessWrite) // private copy
+
+	child, fr, _ := doFork(t, as)
+	// Only the private copy was writable; one page write-protected.
+	if fr.Pages != 1 {
+		t.Fatalf("flush = %+v", fr)
+	}
+	// The page-cache page is shared without refcounting (it belongs to
+	// the file); the private copy is CoW-shared.
+	cacheP, _, _ := child.PT.Lookup(v.Start)
+	if cacheP.Frame != f.frames[0] {
+		t.Fatal("child page-cache mapping wrong")
+	}
+	privP, _, _ := child.PT.Lookup(v.Start + pg)
+	if child.SharedAnonRefs(privP.Frame) != 2 {
+		t.Fatalf("private copy refs = %d", child.SharedAnonRefs(privP.Frame))
+	}
+}
+
+func TestForkHugeCopiesEagerly(t *testing.T) {
+	as, _ := newAS(t)
+	v, _ := as.MMapHuge(huge, ProtRead|ProtWrite)
+	as.HandleFault(v.Start, AccessWrite)
+
+	child, fr, st := doFork(t, as)
+	if st.PagesCopied != 512 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if fr.Pages != 0 {
+		t.Fatalf("huge fork should not write-protect: %+v", fr)
+	}
+	pp, _, _ := as.PT.Lookup(v.Start)
+	cp, csize, _ := child.PT.Lookup(v.Start)
+	if pp.Frame == cp.Frame {
+		t.Fatal("huge page shared instead of copied")
+	}
+	if csize != pagetable.Size2M {
+		t.Fatalf("child page size = %v", csize)
+	}
+}
+
+func TestForkUnmapRefcounts(t *testing.T) {
+	as, _ := newAS(t)
+	v, _ := as.MMap(2*pg, ProtRead|ProtWrite, Anon, nil, 0)
+	as.HandleFault(v.Start, AccessWrite)
+	child, _, _ := doFork(t, as)
+
+	frame, _, _ := as.PT.Lookup(v.Start)
+	liveBefore := as.alloc.Live()
+	// Parent unmaps: frame survives (child still references it).
+	if _, err := as.Unmap(v.Start, 2*pg); err != nil {
+		t.Fatal(err)
+	}
+	if as.alloc.Live() != liveBefore {
+		t.Fatal("frame freed while child still maps it")
+	}
+	if child.SharedAnonRefs(frame.Frame) != 0 {
+		t.Fatalf("refs = %d, want untracked sole owner", child.SharedAnonRefs(frame.Frame))
+	}
+	// Child unmaps: now it is freed.
+	if _, err := child.Unmap(v.Start, 2*pg); err != nil {
+		t.Fatal(err)
+	}
+	if as.alloc.Live() != liveBefore-1 {
+		t.Fatal("frame not freed after last unmap")
+	}
+}

@@ -1,0 +1,118 @@
+package mm
+
+import (
+	"fmt"
+
+	"shootdown/internal/pagetable"
+)
+
+// Huge-page (2 MiB) support: huge anonymous mappings and the
+// khugepaged-style collapse of 512 populated 4 KiB pages into one huge
+// page. Huge-page compaction is one of the TLB-flush sources the paper
+// lists in §2.1, and collapse removes a page-table page, which matters to
+// the early-acknowledgement exception (§3.2).
+
+const hugePages = pagetable.PageSize2M / pagetable.PageSize4K
+
+// MMapHuge creates an anonymous VMA backed by 2 MiB pages. Length must be
+// a multiple of 2 MiB.
+func (as *AddressSpace) MMapHuge(length uint64, prot Prot) (*VMA, error) {
+	if length == 0 || length%pagetable.PageSize2M != 0 {
+		return nil, fmt.Errorf("%w: huge length %#x", ErrBadRange, length)
+	}
+	// Align the cursor to 2 MiB.
+	start := (as.mmapCursor + pagetable.PageSize2M - 1) &^ uint64(pagetable.PageSize2M-1)
+	for as.vmas.overlaps(start, start+length) {
+		start += length
+	}
+	as.mmapCursor = start + length + pagetable.PageSize2M
+	v := &VMA{Start: start, End: start + length, Prot: prot, Kind: Anon, HugePages: true}
+	as.vmas.insert(v)
+	return v, nil
+}
+
+// populateHuge installs a 2 MiB anonymous page covering page's region.
+func (as *AddressSpace) populateHuge(v *VMA, va uint64, access Access) (FaultResult, error) {
+	base := va &^ uint64(pagetable.PageSize2M-1)
+	if base < v.Start || base+pagetable.PageSize2M > v.End {
+		// The VMA is not 2 MiB aligned here; fall back to a 4 KiB page.
+		return as.populate(v, va&^uint64(pagetable.PageSize4K-1), access)
+	}
+	flags := pagetable.User | pagetable.Accessed
+	if !v.Prot.Has(ProtExec) {
+		flags |= pagetable.NX
+	}
+	if v.Prot.Has(ProtWrite) {
+		flags |= pagetable.Write
+	}
+	if access == AccessWrite {
+		flags |= pagetable.Dirty
+	}
+	frame := as.alloc.AllocContig(hugePages)
+	if err := as.PT.Map(base, frame, pagetable.Size2M, flags); err != nil {
+		as.alloc.FreeContig(frame, hugePages)
+		return FaultResult{}, err
+	}
+	return FaultResult{Kind: FaultPopulate, VA: base, Frame: frame, Huge: true}, nil
+}
+
+// CollapseHuge merges the 512 anonymous 4 KiB pages covering the 2 MiB
+// region of va into one huge page (khugepaged). All 512 PTEs must be
+// present, anonymous, and unshared. The copy cost is the caller's to
+// charge; the returned FlushRange covers the region with FreedTables set,
+// because the collapsed page table page is released — which suppresses
+// early acknowledgement for this shootdown (§3.2).
+func (as *AddressSpace) CollapseHuge(va uint64) (FlushRange, error) {
+	base := va &^ uint64(pagetable.PageSize2M-1)
+	v := as.vmas.find(base)
+	if v == nil || v.Kind != Anon {
+		return FlushRange{}, fmt.Errorf("%w: collapse target %#x", ErrNoVMA, base)
+	}
+	if base < v.Start || base+pagetable.PageSize2M > v.End {
+		return FlushRange{}, fmt.Errorf("%w: VMA does not cover 2M region at %#x", ErrBadRange, base)
+	}
+	// Verify all 512 small pages are present, writable-mapped anon and
+	// unshared, collecting their frames.
+	var frames []uint64
+	var flags pagetable.Flags
+	for off := uint64(0); off < pagetable.PageSize2M; off += pagetable.PageSize4K {
+		pte, size, err := as.PT.Lookup(base + off)
+		if err != nil {
+			return FlushRange{}, fmt.Errorf("mm: collapse: hole at %#x", base+off)
+		}
+		if size != pagetable.Size4K {
+			return FlushRange{}, fmt.Errorf("mm: collapse: already huge at %#x", base+off)
+		}
+		if as.sharedAnon.Shared(pte.Frame) {
+			return FlushRange{}, fmt.Errorf("mm: collapse: shared (KSM) page at %#x", base+off)
+		}
+		frames = append(frames, pte.Frame)
+		flags |= pte.Flags & (pagetable.Write | pagetable.Dirty | pagetable.Accessed)
+	}
+	// Allocate the huge frame, then replace the mappings.
+	hugeFrame := as.alloc.AllocContig(hugePages)
+	removed, freedTables, err := as.PT.UnmapRange(base, base+pagetable.PageSize2M)
+	if err != nil {
+		return FlushRange{}, err
+	}
+	if removed != hugePages {
+		panic("mm: collapse removed unexpected leaf count")
+	}
+	for _, f := range frames {
+		as.alloc.Free(f)
+	}
+	newFlags := pagetable.User | flags
+	if !v.Prot.Has(ProtExec) {
+		newFlags |= pagetable.NX
+	}
+	if err := as.PT.Map(base, hugeFrame, pagetable.Size2M, newFlags); err != nil {
+		return FlushRange{}, err
+	}
+	// Collapsing always frees the PT page that held the 512 PTEs.
+	_ = freedTables
+	return FlushRange{
+		Start: base, End: base + pagetable.PageSize2M,
+		Stride: pagetable.Size4K, // the *stale* entries being flushed are 4K
+		Pages:  hugePages, FreedTables: true,
+	}, nil
+}

@@ -1,0 +1,308 @@
+package mm
+
+import (
+	"testing"
+
+	"shootdown/internal/pagetable"
+)
+
+const huge = pagetable.PageSize2M
+
+func TestMMapHugeAndPopulate(t *testing.T) {
+	as, _ := newAS(t)
+	v, err := as.MMapHuge(2*huge, ProtRead|ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.HugePages || v.Start%huge != 0 {
+		t.Fatalf("vma = %+v", v)
+	}
+	res, err := as.HandleFault(v.Start+0x1234, AccessWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != FaultPopulate || !res.Huge {
+		t.Fatalf("fault = %+v", res)
+	}
+	tr, err := as.PT.Walk(v.Start + huge - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size != pagetable.Size2M || !tr.Flags.Has(pagetable.Write|pagetable.Dirty) {
+		t.Fatalf("translation = %+v", tr)
+	}
+	// The second huge page is a separate fault.
+	if _, err := as.PT.Walk(v.Start + huge); err == nil {
+		t.Fatal("second huge page mapped without a fault")
+	}
+}
+
+func TestMMapHugeValidation(t *testing.T) {
+	as, _ := newAS(t)
+	if _, err := as.MMapHuge(pg, ProtRead); err == nil {
+		t.Fatal("non-2M length accepted")
+	}
+}
+
+func TestHugeUnmapFreesContig(t *testing.T) {
+	as, _ := newAS(t)
+	v, _ := as.MMapHuge(huge, ProtRead|ProtWrite)
+	as.HandleFault(v.Start, AccessWrite)
+	liveBefore := as.alloc.Live()
+	fl, err := as.Unmap(v.Start, huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Pages != 1 {
+		t.Fatalf("flush pages = %d (one 2M leaf)", fl.Pages)
+	}
+	if freed := liveBefore - as.alloc.Live(); freed != 512 {
+		t.Fatalf("freed %d frames, want 512", freed)
+	}
+}
+
+func TestCollapseHuge(t *testing.T) {
+	as, _ := newAS(t)
+	// A small-page anon VMA aligned to 2M, fully populated.
+	v, err := as.MMapFixed(4*huge, huge, ProtRead|ProtWrite, Anon, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < huge; off += pg {
+		if _, err := as.HandleFault(v.Start+off, AccessWrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaves := as.PT.LeafCount()
+	if leaves != 512 {
+		t.Fatalf("leaves = %d", leaves)
+	}
+	liveBefore := as.alloc.Live()
+	fr, err := as.CollapseHuge(v.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.FreedTables {
+		t.Fatal("collapse must report freed page tables (early-ack unsafe)")
+	}
+	if fr.Pages != 512 {
+		t.Fatalf("flush pages = %d", fr.Pages)
+	}
+	// 512 small frames freed, 512 contiguous allocated: net 0.
+	if as.alloc.Live() != liveBefore {
+		t.Fatalf("live frames changed by %d", as.alloc.Live()-liveBefore)
+	}
+	tr, err := as.PT.Walk(v.Start + 0x5000)
+	if err != nil || tr.Size != pagetable.Size2M {
+		t.Fatalf("post-collapse walk = %+v, %v", tr, err)
+	}
+	if as.PT.LeafCount() != 1 {
+		t.Fatalf("leaf count = %d", as.PT.LeafCount())
+	}
+	// Collapsing again fails (already huge).
+	if _, err := as.CollapseHuge(v.Start); err == nil {
+		t.Fatal("double collapse succeeded")
+	}
+}
+
+func TestCollapseHugeRequiresFullPopulation(t *testing.T) {
+	as, _ := newAS(t)
+	v, _ := as.MMapFixed(8*huge, huge, ProtRead|ProtWrite, Anon, nil, 0)
+	as.HandleFault(v.Start, AccessWrite) // only one page
+	if _, err := as.CollapseHuge(v.Start); err == nil {
+		t.Fatal("collapse of sparsely populated region succeeded")
+	}
+}
+
+func TestDedupPages(t *testing.T) {
+	as, _ := newAS(t)
+	v, _ := as.MMap(8*pg, ProtRead|ProtWrite, Anon, nil, 0)
+	as.HandleFault(v.Start, AccessWrite)
+	as.HandleFault(v.Start+pg, AccessWrite)
+	liveBefore := as.alloc.Live()
+
+	frs, err := as.DedupPages(v.Start, v.Start+pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frs) != 2 {
+		t.Fatalf("flush ranges = %d", len(frs))
+	}
+	if as.alloc.Live() != liveBefore-1 {
+		t.Fatalf("duplicate frame not freed: live %d -> %d", liveBefore, as.alloc.Live())
+	}
+	p1, _, _ := as.PT.Lookup(v.Start)
+	p2, _, _ := as.PT.Lookup(v.Start + pg)
+	if p1.Frame != p2.Frame {
+		t.Fatal("pages do not share a frame")
+	}
+	if p1.Flags.Has(pagetable.Write) || p2.Flags.Has(pagetable.Write) {
+		t.Fatal("shared pages still writable")
+	}
+	if as.SharedAnonRefs(p1.Frame) != 2 {
+		t.Fatalf("refs = %d", as.SharedAnonRefs(p1.Frame))
+	}
+
+	// Writing one breaks CoW: fresh frame, refcount drops.
+	res, err := as.HandleFault(v.Start, AccessWrite)
+	if err != nil || res.Kind != FaultCoW {
+		t.Fatalf("post-dedup write = %+v, %v", res, err)
+	}
+	if as.SharedAnonRefs(p1.Frame) != 0 {
+		t.Fatalf("refs after CoW = %d, want untracked sole owner", as.SharedAnonRefs(p1.Frame))
+	}
+	// Unmapping the last sharer frees the KSM frame.
+	liveBefore = as.alloc.Live()
+	if _, err := as.Unmap(v.Start+pg, pg); err != nil {
+		t.Fatal(err)
+	}
+	if as.alloc.Live() != liveBefore-1 {
+		t.Fatal("KSM frame not freed with last sharer")
+	}
+	if as.SharedAnonRefs(p1.Frame) != 0 {
+		t.Fatal("refcount not cleared")
+	}
+}
+
+func TestDedupValidation(t *testing.T) {
+	as, alloc := newAS(t)
+	v, _ := as.MMap(4*pg, ProtRead|ProtWrite, Anon, nil, 0)
+	as.HandleFault(v.Start, AccessWrite)
+	if _, err := as.DedupPages(v.Start, v.Start); err == nil {
+		t.Fatal("self-dedup accepted")
+	}
+	if _, err := as.DedupPages(v.Start, v.Start+pg); err == nil {
+		t.Fatal("dedup with unmapped page accepted")
+	}
+	f := NewFile("f", 4*pg, alloc)
+	fv, _ := as.MMap(4*pg, ProtRead|ProtWrite, FileShared, f, 0)
+	as.HandleFault(fv.Start, AccessWrite)
+	if _, err := as.DedupPages(v.Start, fv.Start); err == nil {
+		t.Fatal("dedup of file page accepted")
+	}
+}
+
+func TestMigratePage(t *testing.T) {
+	as, _ := newAS(t)
+	v, _ := as.MMap(4*pg, ProtRead|ProtWrite, Anon, nil, 0)
+	as.HandleFault(v.Start, AccessWrite)
+	before, _, _ := as.PT.Lookup(v.Start)
+	fr, err := as.MigratePage(v.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Pages != 1 {
+		t.Fatalf("flush = %+v", fr)
+	}
+	after, _, _ := as.PT.Lookup(v.Start)
+	if after.Frame == before.Frame {
+		t.Fatal("frame unchanged by migration")
+	}
+	if after.Flags != before.Flags {
+		t.Fatalf("flags changed: %v -> %v", before.Flags, after.Flags)
+	}
+	// KSM-shared pages refuse migration.
+	as.HandleFault(v.Start+pg, AccessWrite)
+	as.HandleFault(v.Start+2*pg, AccessWrite)
+	if _, err := as.DedupPages(v.Start+pg, v.Start+2*pg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.MigratePage(v.Start + pg); err == nil {
+		t.Fatal("migrated a KSM-shared page")
+	}
+}
+
+func TestNUMAHintAndFault(t *testing.T) {
+	as, _ := newAS(t)
+	v, _ := as.MMap(8*pg, ProtRead|ProtWrite, Anon, nil, 0)
+	for i := uint64(0); i < 4; i++ {
+		as.HandleFault(v.Start+i*pg, AccessWrite)
+	}
+	fr, err := as.NUMAHintRange(v.Start, v.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Pages != 4 {
+		t.Fatalf("hinted %d pages", fr.Pages)
+	}
+	pte, _, _ := as.PT.Lookup(v.Start)
+	if !pte.Flags.Has(pagetable.ProtNone) {
+		t.Fatal("ProtNone not set")
+	}
+	// Hinting again is a no-op.
+	fr2, err := as.NUMAHintRange(v.Start, v.End)
+	if err != nil || !fr2.Empty() {
+		t.Fatalf("re-hint = %+v, %v", fr2, err)
+	}
+	// The next access consumes the hint.
+	res, err := as.HandleFault(v.Start, AccessRead)
+	if err != nil || res.Kind != FaultNUMAHint {
+		t.Fatalf("hint fault = %+v, %v", res, err)
+	}
+	pte, _, _ = as.PT.Lookup(v.Start)
+	if pte.Flags.Has(pagetable.ProtNone) {
+		t.Fatal("hint not consumed")
+	}
+}
+
+func TestReclaimCleanFilePages(t *testing.T) {
+	as, alloc := newAS(t)
+	f := NewFile("data", 16*pg, alloc)
+	v, _ := as.MMap(16*pg, ProtRead|ProtWrite, FileShared, f, 0)
+	// 4 clean (read) + 2 dirty (written) pages.
+	for i := uint64(0); i < 4; i++ {
+		as.HandleFault(v.Start+i*pg, AccessRead)
+	}
+	as.HandleFault(v.Start+8*pg, AccessWrite)
+	as.HandleFault(v.Start+9*pg, AccessWrite)
+
+	victims, fr, err := as.ReclaimCleanFilePages(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(victims) != 3 || fr.Pages != 3 {
+		t.Fatalf("victims = %v, flush = %+v", victims, fr)
+	}
+	// Dirty pages stay mapped.
+	if _, _, err := as.PT.Lookup(v.Start + 8*pg); err != nil {
+		t.Fatal("dirty page was reclaimed")
+	}
+	// Reclaimed pages refault from the page cache (same frame).
+	res, err := as.HandleFault(victims[0], AccessRead)
+	if err != nil || res.Kind != FaultPopulate {
+		t.Fatalf("refault = %+v, %v", res, err)
+	}
+	if res.Frame != f.frames[(victims[0]-v.Start)/pg] {
+		t.Fatal("refault did not reuse the page-cache frame")
+	}
+	// Clean pages remaining: 4 - 3 reclaimed + 1 just refaulted = 2.
+	victims, _, _ = as.ReclaimCleanFilePages(f, 100)
+	if len(victims) != 2 {
+		t.Fatalf("second reclaim = %v", victims)
+	}
+}
+
+func TestAnonReuseFastPath(t *testing.T) {
+	as, _ := newAS(t)
+	v, _ := as.MMap(2*pg, ProtRead|ProtWrite, Anon, nil, 0)
+	as.HandleFault(v.Start, AccessWrite)
+	// Round-trip mprotect drops the Write bit.
+	if _, err := as.Protect(v.Start, 2*pg, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Protect(v.Start, 2*pg, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	before, _, _ := as.PT.Lookup(v.Start)
+	res, err := as.HandleFault(v.Start, AccessWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != FaultMkWrite {
+		t.Fatalf("sole-owner write-protect fault = %v, want reuse (mkwrite)", res.Kind)
+	}
+	after, _, _ := as.PT.Lookup(v.Start)
+	if after.Frame != before.Frame {
+		t.Fatal("reuse path copied the page")
+	}
+}

@@ -1,0 +1,147 @@
+package mm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildSet creates a vmaSet with VMAs at deterministic positions derived
+// from lens (each VMA is lens[i]%8+1 pages, separated by one guard page).
+func buildSet(lens []uint8) (*vmaSet, uint64) {
+	s := &vmaSet{}
+	cursor := uint64(0x10000)
+	var total uint64
+	for _, l := range lens {
+		n := uint64(l%8) + 1
+		v := &VMA{Start: cursor, End: cursor + n*pg, Prot: ProtRead, Kind: Anon}
+		s.insert(v)
+		total += n
+		cursor = v.End + pg
+	}
+	return s, total
+}
+
+func pagesOf(s *vmaSet) uint64 {
+	var n uint64
+	for _, v := range s.all() {
+		n += v.Len() / pg
+	}
+	return n
+}
+
+func sorted(s *vmaSet) bool {
+	vs := s.all()
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1].End > vs[i].Start {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: removeRange conserves pages (kept + removed == original),
+// keeps the set sorted and non-overlapping, and the removed pieces lie
+// entirely within the requested range.
+func TestRemoveRangeProperties(t *testing.T) {
+	f := func(lens []uint8, a, b uint16) bool {
+		if len(lens) > 12 {
+			lens = lens[:12]
+		}
+		s, total := buildSet(lens)
+		lo := uint64(0x10000) + uint64(a%256)*pg
+		hi := lo + uint64(b%64+1)*pg
+		removed := s.removeRange(lo, hi)
+
+		var removedPages uint64
+		for _, v := range removed {
+			if v.Start < lo || v.End > hi {
+				return false // removed piece escapes the range
+			}
+			removedPages += v.Len() / pg
+		}
+		if pagesOf(s)+removedPages != total {
+			return false // pages not conserved
+		}
+		if !sorted(s) {
+			return false
+		}
+		// Nothing kept intersects the range.
+		for _, v := range s.all() {
+			if v.Start < hi && v.End > lo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: find agrees with a linear scan.
+func TestFindAgreesWithScan(t *testing.T) {
+	f := func(lens []uint8, probe uint16) bool {
+		if len(lens) > 12 {
+			lens = lens[:12]
+		}
+		s, _ := buildSet(lens)
+		va := uint64(0x10000) + uint64(probe%512)*pg/2
+		got := s.find(va)
+		var want *VMA
+		for _, v := range s.all() {
+			if v.Contains(va) {
+				want = v
+				break
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveRangeSplitKeepsFileOffsets(t *testing.T) {
+	s := &vmaSet{}
+	s.insert(&VMA{Start: 0x10000, End: 0x10000 + 10*pg, Kind: FileShared, FileOff: 5 * pg})
+	removed := s.removeRange(0x10000+3*pg, 0x10000+6*pg)
+	if len(removed) != 1 {
+		t.Fatalf("removed = %d pieces", len(removed))
+	}
+	if removed[0].FileOff != 5*pg+3*pg {
+		t.Fatalf("removed FileOff = %#x", removed[0].FileOff)
+	}
+	kept := s.all()
+	if len(kept) != 2 {
+		t.Fatalf("kept = %d pieces", len(kept))
+	}
+	if kept[0].FileOff != 5*pg || kept[1].FileOff != 5*pg+6*pg {
+		t.Fatalf("kept offsets = %#x, %#x", kept[0].FileOff, kept[1].FileOff)
+	}
+}
+
+func TestKindAndProtStrings(t *testing.T) {
+	if Anon.String() != "anon" || FileShared.String() != "file-shared" || FilePrivate.String() != "file-private" {
+		t.Fatal("Kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind renders empty")
+	}
+	if (ProtRead | ProtWrite).String() != "rw-" {
+		t.Fatalf("prot = %q", (ProtRead | ProtWrite).String())
+	}
+	if (ProtRead | ProtExec).String() != "r-x" {
+		t.Fatalf("prot = %q", (ProtRead | ProtExec).String())
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	for _, k := range []FaultKind{FaultPopulate, FaultCoW, FaultMkWrite, FaultSpurious, FaultNUMAHint} {
+		if k.String() == "" {
+			t.Errorf("kind %d renders empty", k)
+		}
+	}
+	if FaultKind(200).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

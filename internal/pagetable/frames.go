@@ -1,0 +1,53 @@
+package pagetable
+
+// FrameAlloc hands out physical frame numbers for simulated memory. It is a
+// bump allocator with a free list: the simulation never models physical
+// memory contents, only identity, so frames are just unique integers.
+type FrameAlloc struct {
+	next uint64
+	free []uint64
+	live int
+}
+
+// NewFrameAlloc returns an allocator whose first frame is firstFrame
+// (frame 0 is conventionally reserved so that a zero Frame is "no frame").
+func NewFrameAlloc() *FrameAlloc {
+	return &FrameAlloc{next: 1}
+}
+
+// Alloc returns a fresh (or recycled) frame number.
+func (a *FrameAlloc) Alloc() uint64 {
+	a.live++
+	if n := len(a.free); n > 0 {
+		f := a.free[n-1]
+		a.free = a.free[:n-1]
+		return f
+	}
+	f := a.next
+	a.next++
+	return f
+}
+
+// AllocContig returns n consecutive frame numbers (for 2 MiB pages).
+func (a *FrameAlloc) AllocContig(n int) uint64 {
+	a.live += n
+	f := a.next
+	a.next += uint64(n)
+	return f
+}
+
+// Free recycles a frame.
+func (a *FrameAlloc) Free(frame uint64) {
+	a.live--
+	a.free = append(a.free, frame)
+}
+
+// FreeContig recycles n consecutive frames starting at base.
+func (a *FrameAlloc) FreeContig(base uint64, n int) {
+	for i := 0; i < n; i++ {
+		a.Free(base + uint64(i))
+	}
+}
+
+// Live returns the number of currently allocated frames.
+func (a *FrameAlloc) Live() int { return a.live }

@@ -1,0 +1,136 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// in the rows-and-series shapes the paper's tables and figures use.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row, stringifying each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Write renders the table as aligned text.
+func (t *Table) Write(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Write(&sb)
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeCSVRow(&sb, t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(&sb, row)
+	}
+	return sb.String()
+}
+
+func writeCSVRow(sb *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		sb.WriteString(c)
+	}
+	sb.WriteByte('\n')
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a fraction as a percentage ("37%").
+func Pct(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+
+// Speedup formats a ratio ("1.15x").
+func Speedup(f float64) string { return fmt.Sprintf("%.3fx", f) }
+
+// Cycles formats a cycle count with a thousands separator.
+func Cycles(c float64) string {
+	s := fmt.Sprintf("%.0f", c)
+	out := ""
+	for i, ch := range s {
+		if i > 0 && (len(s)-i)%3 == 0 && ch != '-' {
+			out += ","
+		}
+		out += string(ch)
+	}
+	return out
+}

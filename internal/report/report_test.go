@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"name", "val"}}
+	tab.AddRow("a", 1)
+	tab.AddRow("longer", 2.5)
+	tab.AddNote("n=%d", 2)
+	out := tab.String()
+	if !strings.Contains(out, "T\n=\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "longer  2.50") {
+		t.Fatalf("row misaligned: %q", out)
+	}
+	if !strings.Contains(out, "note: n=2") {
+		t.Fatalf("missing note: %q", out)
+	}
+	// Columns aligned: "a" padded to len("longer").
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "a ") && !strings.HasPrefix(line, "a       1") {
+			t.Fatalf("bad padding: %q", line)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow("x,y", `q"u`)
+	got := tab.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"u\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.37); got != "37%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Speedup(1.1534); got != "1.153x" {
+		t.Fatalf("Speedup = %q", got)
+	}
+	if got := Cycles(1234567); got != "1,234,567" {
+		t.Fatalf("Cycles = %q", got)
+	}
+	if got := Cycles(999); got != "999" {
+		t.Fatalf("Cycles = %q", got)
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+// Cond is a condition variable for processes. Waiters are resumed in FIFO
+// order via the event queue, preserving determinism.
+//
+// Unlike sync.Cond there is no associated lock: the simulation is single
+// threaded, so checking a predicate and calling Wait is atomic with respect
+// to other processes.
+type Cond struct {
+	eng     *Engine
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	p         *Proc
+	signaled  bool
+	timeoutEv *Event
+}
+
+// NewCond returns a condition variable bound to the engine.
+func (e *Engine) NewCond() *Cond {
+	return &Cond{eng: e}
+}
+
+// Waiters returns the number of processes currently blocked on the cond.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Wait blocks p until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	w := &condWaiter{p: p}
+	c.waiters = append(c.waiters, w)
+	p.yield()
+}
+
+// WaitTimeout blocks p until the cond is signaled or d cycles elapse.
+// It reports whether the wakeup was a signal (true) or a timeout (false).
+func (c *Cond) WaitTimeout(p *Proc, d uint64) (signaled bool) {
+	w := &condWaiter{p: p}
+	w.timeoutEv = c.eng.After(d, func() {
+		c.remove(w)
+		c.eng.resume(p)
+	})
+	c.waiters = append(c.waiters, w)
+	p.yield()
+	return w.signaled
+}
+
+// Signal wakes the longest-waiting process, if any. The waiter resumes at
+// the current virtual time, after the caller yields.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.wake(w)
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		c.wake(w)
+	}
+}
+
+func (c *Cond) wake(w *condWaiter) {
+	w.signaled = true
+	if w.timeoutEv != nil {
+		w.timeoutEv.Cancel()
+	}
+	c.eng.After(0, func() { c.eng.resume(w.p) })
+}
+
+func (c *Cond) remove(w *condWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}

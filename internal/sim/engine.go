@@ -1,0 +1,147 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with a cooperative process model.
+//
+// The engine maintains a virtual clock measured in CPU cycles and an event
+// heap ordered by (time, insertion sequence). Simulated activities run as
+// processes (Proc): goroutines that execute strictly one at a time, handing
+// control back to the engine whenever they block (Delay, Cond.Wait, ...).
+// Because at most one goroutine runs at any instant and ties in the event
+// heap are broken by insertion order, a simulation with a fixed seed is
+// fully deterministic.
+//
+// The package is the foundation for every other simulated component in this
+// repository: cores, TLBs, APICs and kernel code are all expressed as
+// processes and events on a shared Engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, measured in cycles since simulation start.
+type Time uint64
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Engine is a deterministic discrete-event simulator.
+//
+// An Engine must be driven from a single goroutine via Run or RunUntil.
+// It is not safe for concurrent use; processes spawned with Go interleave
+// cooperatively and never run in parallel with the engine or each other.
+type Engine struct {
+	now   Time
+	heap  eventHeap
+	seq   uint64
+	sched chan struct{}
+	rng   *Rand
+
+	liveProcs int
+	procErr   error
+}
+
+// NewEngine returns an engine with the clock at zero and a deterministic
+// random source derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		sched: make(chan struct{}),
+		rng:   NewRand(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Pending returns the number of events (cancelled or not) still queued.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// LiveProcs returns the number of processes that have been started and have
+// not yet returned.
+func (e *Engine) LiveProcs() int { return e.liveProcs }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// a simulation that rewinds its clock is always a bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d uint64, fn func()) *Event {
+	return e.At(e.now+Time(d), fn)
+}
+
+// Run executes events until the heap is empty. Processes that are blocked on
+// conditions with no future signal are left blocked; Run returns when no
+// event can advance the simulation further. If a process panicked, Run
+// re-panics with its error.
+func (e *Engine) Run() {
+	e.RunUntil(^Time(0))
+}
+
+// RunUntil executes events with timestamps <= horizon. The clock stops at
+// the last executed event (it does not jump to horizon).
+func (e *Engine) RunUntil(horizon Time) {
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.at > horizon {
+			return
+		}
+		heap.Pop(&e.heap)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+		if e.procErr != nil {
+			panic(e.procErr)
+		}
+	}
+}
+
+// resume hands control to p and blocks until p yields back.
+func (e *Engine) resume(p *Proc) {
+	p.wake <- struct{}{}
+	<-e.sched
+}

@@ -1,0 +1,73 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that runs cooperatively under an
+// Engine. At most one Proc executes at a time; a Proc runs until it blocks
+// (Delay, Cond.Wait, ...) or returns, then the engine resumes.
+//
+// All Proc methods must be called from the Proc's own goroutine.
+type Proc struct {
+	// Name identifies the process in traces and error messages.
+	Name string
+
+	eng  *Engine
+	wake chan struct{}
+	done bool
+}
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Go starts fn as a new process. The process begins executing at the current
+// virtual time, after the currently running event or process yields.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{Name: name, eng: e, wake: make(chan struct{})}
+	e.liveProcs++
+	go func() {
+		<-p.wake
+		defer func() {
+			if r := recover(); r != nil {
+				// Surface the panic to Run() instead of deadlocking the
+				// engine goroutine, which would otherwise wait forever on
+				// e.sched.
+				e.procErr = fmt.Errorf("sim: proc %q panicked: %v", p.Name, r)
+			}
+			p.done = true
+			e.liveProcs--
+			e.sched <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.At(e.now, func() { e.resume(p) })
+	return p
+}
+
+// yield returns control to the engine and blocks until the process is
+// resumed by a scheduled event.
+func (p *Proc) yield() {
+	p.eng.sched <- struct{}{}
+	<-p.wake
+}
+
+// Delay advances the process by d cycles of uninterruptible work or sleep.
+func (p *Proc) Delay(d uint64) {
+	if d == 0 {
+		return
+	}
+	p.eng.After(d, func() { p.eng.resume(p) })
+	p.yield()
+}
+
+// Yield lets every other runnable process and event at the current time run
+// before this process continues. It costs zero cycles.
+func (p *Proc) Yield() {
+	p.eng.After(0, func() { p.eng.resume(p) })
+	p.yield()
+}

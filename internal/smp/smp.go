@@ -1,0 +1,367 @@
+// Package smp models the Linux SMP function-call layer used to run code on
+// remote CPUs: per-CPU call-single queues (CSQ), per-initiator
+// call-function data (CFD), multicast IPI kicks, and the acknowledgement
+// the initiator spin-waits on.
+//
+// The cacheline layout of these structures is explicit, because the paper's
+// cacheline-consolidation optimization (§3.3) works entirely at this level:
+//
+//   - baseline layout: four distinct contended line types per shootdown —
+//     the per-CPU lazy-mode/TLB-state line, the flush-info line (on the
+//     initiator's stack), the CFD line, and the CSQ head line;
+//   - consolidated layout: the lazy-mode indication shares a line with the
+//     CSQ head (they are accessed back to back), and the flush info is
+//     inlined into the CFD so both fit one line.
+//
+// The latency difference between the layouts is produced by the MESI model
+// in internal/cache, not by constants in this package.
+package smp
+
+import (
+	"fmt"
+
+	"shootdown/internal/apic"
+	"shootdown/internal/cache"
+	"shootdown/internal/mach"
+	"shootdown/internal/sim"
+)
+
+// HandlerFunc runs on the target CPU in interrupt context. p is the target
+// CPU's process; payload is the request payload.
+type HandlerFunc func(p *sim.Proc, target mach.CPU, payload any)
+
+// Request is one in-flight remote function call (one CFD entry).
+type Request struct {
+	// Fn is invoked on the target in IRQ context.
+	Fn HandlerFunc
+	// Payload is the argument (e.g. the TLB flush info).
+	Payload any
+	// AckEarly instructs the responder to acknowledge on IRQ entry, before
+	// running Fn (paper §3.2). The initiator sets it only when safe.
+	AckEarly bool
+
+	target   mach.CPU
+	cfdLine  *cache.Line
+	infoLine *cache.Line // nil under the consolidated layout
+	done     bool
+	doneCond *sim.Cond
+	onDone   func()
+}
+
+// Target returns the CPU this request is queued for.
+func (r *Request) Target() mach.CPU { return r.target }
+
+// Done reports whether the target has acknowledged.
+func (r *Request) Done() bool { return r.done }
+
+type perCPU struct {
+	// csqLine is the call-single-queue head cacheline.
+	csqLine *cache.Line
+	// lazyLine holds the lazy-mode indication initiators read before
+	// sending. Baseline layout: it shares a line with genLine (the
+	// frequently written per-CPU TLB state), causing false sharing.
+	// Consolidated layout: it shares the CSQ head line instead, since the
+	// two are accessed back to back (§3.3).
+	lazyLine *cache.Line
+	// genLine is the per-CPU TLB-generation state the responder's flush
+	// function writes. Baseline: aliases lazyLine. Consolidated: private.
+	genLine *cache.Line
+	queue   []*Request
+}
+
+// Stats counts SMP-layer activity.
+type Stats struct {
+	// Calls is the number of queued remote requests.
+	Calls uint64
+	// Kicks is the number of CPUs actually sent an IPI.
+	Kicks uint64
+	// KicksElided counts targets whose CSQ was already non-empty, so no
+	// IPI was needed (Linux's empty->non-empty optimization).
+	KicksElided uint64
+	// EarlyAcks / LateAcks split acknowledgements by protocol.
+	EarlyAcks, LateAcks uint64
+}
+
+// Layer is the machine-wide SMP function-call subsystem.
+type Layer struct {
+	eng          *sim.Engine
+	topo         mach.Topology
+	cost         *mach.CostModel
+	dir          *cache.Directory
+	bus          *apic.Bus
+	consolidated bool
+	// hwMessage models the §6 hardware extension: the IPI carries the
+	// function and payload, so queueing and reading them costs no
+	// shared-memory cacheline traffic (the ack stays in memory).
+	hwMessage bool
+
+	percpu []*perCPU
+	// cfd[i][t] is the CFD line initiator i uses for target t, allocated
+	// lazily (Linux: per-CPU cfd_data with a per-target csd each).
+	cfd   [][]*cache.Line
+	stats Stats
+
+	// AckHook, when non-nil, observes every acknowledgement (used by the
+	// trace recorder).
+	AckHook func(target mach.CPU, early bool)
+}
+
+// New builds the SMP layer. consolidated selects the paper's cacheline
+// layout (§3.3) instead of the baseline Linux layout; hwMessage enables
+// the §6 message-carrying-IPI hardware model.
+func New(eng *sim.Engine, topo mach.Topology, cost *mach.CostModel, dir *cache.Directory, bus *apic.Bus, consolidated, hwMessage bool) *Layer {
+	n := topo.NumCPUs()
+	l := &Layer{
+		eng: eng, topo: topo, cost: cost, dir: dir, bus: bus,
+		consolidated: consolidated, hwMessage: hwMessage,
+		percpu: make([]*perCPU, n),
+		cfd:    make([][]*cache.Line, n),
+	}
+	for i := 0; i < n; i++ {
+		pc := &perCPU{}
+		pc.csqLine = dir.NewLine(fmt.Sprintf("csq[%d]", i))
+		if consolidated {
+			pc.lazyLine = pc.csqLine
+			pc.genLine = dir.NewLine(fmt.Sprintf("tlbgen[%d]", i))
+		} else {
+			pc.lazyLine = dir.NewLine(fmt.Sprintf("tlbstate[%d]", i))
+			pc.genLine = pc.lazyLine
+		}
+		l.percpu[i] = pc
+	}
+	return l
+}
+
+// Consolidated reports which cacheline layout is active.
+func (l *Layer) Consolidated() bool { return l.consolidated }
+
+// Stats returns a snapshot of the counters.
+func (l *Layer) Stats() Stats { return l.stats }
+
+// LazyLine returns the line holding cpu's lazy-mode indication; the
+// shootdown protocol charges a read of it when filtering the target mask.
+func (l *Layer) LazyLine(cpu mach.CPU) *cache.Line {
+	return l.percpu[cpu].lazyLine
+}
+
+// GenLine returns the line holding cpu's frequently written per-CPU TLB
+// generation state; the responder's flush function charges writes to it.
+func (l *Layer) GenLine(cpu mach.CPU) *cache.Line {
+	return l.percpu[cpu].genLine
+}
+
+// CSQLine returns the call-single-queue head line of cpu (exposed so tests
+// and reports can inspect layout aliasing).
+func (l *Layer) CSQLine(cpu mach.CPU) *cache.Line {
+	return l.percpu[cpu].csqLine
+}
+
+func (l *Layer) cfdLine(from, to mach.CPU) *cache.Line {
+	row := l.cfd[from]
+	if row == nil {
+		row = make([]*cache.Line, l.topo.NumCPUs())
+		l.cfd[from] = row
+	}
+	if row[to] == nil {
+		row[to] = l.dir.NewLine(fmt.Sprintf("cfd[%d->%d]", from, to))
+	}
+	return row[to]
+}
+
+// CallMany queues fn on every CPU in targets and kicks the ones whose
+// queues were empty. It returns the per-target requests; the caller decides
+// when to WaitAll (this split is what lets the shootdown protocol overlap
+// the local flush with IPI delivery, §3.1).
+//
+// infoLine is the flush-info cacheline under the baseline layout; pass nil
+// to model inlined info (consolidated layout). The initiator must not be in
+// targets.
+func (l *Layer) CallMany(p *sim.Proc, from mach.CPU, targets mach.CPUMask, fn HandlerFunc, payload any, ackEarly bool, infoLine *cache.Line) []*Request {
+	if targets.Has(from) {
+		panic("smp: initiator cannot target itself")
+	}
+	cpus := targets.CPUs()
+	if len(cpus) == 0 {
+		return nil
+	}
+	reqs := make([]*Request, 0, len(cpus))
+	var kick mach.CPUMask
+	for _, t := range cpus {
+		req := &Request{
+			Fn: fn, Payload: payload, AckEarly: ackEarly,
+			target:   t,
+			cfdLine:  l.cfdLine(from, t),
+			infoLine: infoLine,
+			doneCond: l.eng.NewCond(),
+		}
+		l.stats.Calls++
+		pc := l.percpu[t]
+		if l.hwMessage {
+			// §6 hardware model: the IPI carries fn+payload, so neither
+			// the CFD write nor the CSQ enqueue touches shared memory;
+			// every target gets its own message-carrying IPI.
+			req.infoLine = nil
+			pc.queue = append(pc.queue, req)
+			kick.Set(t)
+			l.stats.Kicks++
+			reqs = append(reqs, req)
+			continue
+		}
+		// Write the CFD (function + payload, and inlined info when
+		// consolidated). Under the baseline layout the info line was
+		// already written by the caller.
+		p.Delay(l.dir.Write(from, req.cfdLine))
+		// Enqueue on the target's call-single queue. The llist_add is
+		// atomic: whether the list was empty is learned from its result,
+		// so the emptiness check happens after the RMW completes.
+		p.Delay(l.dir.Atomic(from, pc.csqLine))
+		wasEmpty := len(pc.queue) == 0
+		pc.queue = append(pc.queue, req)
+		if wasEmpty {
+			kick.Set(t)
+			l.stats.Kicks++
+		} else {
+			l.stats.KicksElided++
+		}
+		reqs = append(reqs, req)
+	}
+	l.bus.SendIPI(p, from, kick, apic.VectorCallFunction)
+	return reqs
+}
+
+// WaitAll spins until every request is acknowledged, charging the
+// spin-wait reads of each CFD line.
+func (l *Layer) WaitAll(p *sim.Proc, from mach.CPU, reqs []*Request) {
+	for _, r := range reqs {
+		for !r.done {
+			p.Delay(l.cost.SpinPoll)
+			r.doneCond.Wait(p)
+			// The ack invalidated our copy; the next poll re-reads it.
+			p.Delay(l.dir.Read(from, r.cfdLine))
+		}
+	}
+}
+
+// WaitFirst blocks until at least one of reqs is acknowledged (used by the
+// in-context/concurrent interaction, §3.4: the initiator flushes user PTEs
+// until the first remote ack arrives). It returns immediately if one is
+// already done.
+func (l *Layer) WaitFirst(p *sim.Proc, from mach.CPU, reqs []*Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	for _, r := range reqs {
+		if r.done {
+			return
+		}
+	}
+	// Register a shared waiter on every request; the first ack wins.
+	woken := false
+	ch := l.eng.NewCond()
+	cancel := make([]func(), 0, len(reqs))
+	for _, r := range reqs {
+		cancel = append(cancel, r.AddDoneHook(func() {
+			if !woken {
+				woken = true
+				ch.Broadcast()
+			}
+		}))
+	}
+	ch.Wait(p)
+	for _, c := range cancel {
+		c()
+	}
+	p.Delay(l.dir.Read(from, reqs[0].cfdLine))
+}
+
+// AddDoneHook registers fn to run when the request is acknowledged. The
+// returned cancel function detaches it. Hooks run on the engine goroutine
+// at ack time, before the request's cond is broadcast.
+func (r *Request) AddDoneHook(fn func()) (cancel func()) {
+	prev := r.onDone
+	r.onDone = func() {
+		if prev != nil {
+			prev()
+		}
+		fn()
+	}
+	cancelled := false
+	return func() {
+		if cancelled {
+			return
+		}
+		cancelled = true
+		// Rebuild the chain without fn by restoring prev; later hooks
+		// were layered on top of us, so only the common LIFO
+		// (register/cancel in stack order) pattern is supported.
+		r.onDone = prev
+	}
+}
+
+// AnyDone reports whether any request has been acknowledged.
+func AnyDone(reqs []*Request) bool {
+	for _, r := range reqs {
+		if r.done {
+			return true
+		}
+	}
+	return false
+}
+
+// AllDone reports whether every request has been acknowledged.
+func AllDone(reqs []*Request) bool {
+	for _, r := range reqs {
+		if !r.done {
+			return false
+		}
+	}
+	return true
+}
+
+// HandleIPI drains the target CPU's call-single queue; the kernel's IRQ
+// dispatch calls it when VectorCallFunction arrives. It charges all
+// cacheline traffic and runs each request's handler, acknowledging before
+// or after the handler according to the request's AckEarly flag.
+func (l *Layer) HandleIPI(p *sim.Proc, cpu mach.CPU) {
+	pc := l.percpu[cpu]
+	if !l.hwMessage {
+		// Pop the whole queue (llist_del_all on the head line).
+		p.Delay(l.dir.Atomic(cpu, pc.csqLine))
+	}
+	queue := pc.queue
+	pc.queue = nil
+	for _, req := range queue {
+		if !l.hwMessage {
+			// Read the CFD to learn fn + payload.
+			p.Delay(l.dir.Read(cpu, req.cfdLine))
+			if req.infoLine != nil {
+				// Baseline layout: the flush info lives on its own line.
+				p.Delay(l.dir.Read(cpu, req.infoLine))
+			}
+		}
+		if req.AckEarly {
+			l.ack(p, cpu, req)
+			l.stats.EarlyAcks++
+			req.Fn(p, cpu, req.Payload)
+		} else {
+			req.Fn(p, cpu, req.Payload)
+			l.ack(p, cpu, req)
+			l.stats.LateAcks++
+		}
+	}
+}
+
+// PendingOn returns the number of queued requests for cpu (for tests).
+func (l *Layer) PendingOn(cpu mach.CPU) int { return len(l.percpu[cpu].queue) }
+
+func (l *Layer) ack(p *sim.Proc, cpu mach.CPU, req *Request) {
+	p.Delay(l.dir.Write(cpu, req.cfdLine))
+	req.done = true
+	if l.AckHook != nil {
+		l.AckHook(cpu, req.AckEarly)
+	}
+	if req.onDone != nil {
+		req.onDone()
+	}
+	req.doneCond.Broadcast()
+}

@@ -1,0 +1,244 @@
+package smp
+
+import (
+	"testing"
+
+	"shootdown/internal/apic"
+	"shootdown/internal/cache"
+	"shootdown/internal/mach"
+	"shootdown/internal/sim"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	topo mach.Topology
+	cost *mach.CostModel
+	dir  *cache.Directory
+	bus  *apic.Bus
+	l    *Layer
+}
+
+func newRig(consolidated bool) *rig {
+	eng := sim.NewEngine(1)
+	topo := mach.DefaultTopology()
+	cost := mach.DefaultCosts()
+	dir := cache.New(topo, cost)
+	bus := apic.NewBus(eng, topo, cost)
+	return &rig{eng, topo, cost, dir, bus, New(eng, topo, cost, dir, bus, consolidated, false)}
+}
+
+// spawnResponder runs a minimal IRQ loop on cpu: it sleeps until the APIC
+// notifies, then drains the call-function queue. It exits after handling
+// `quota` IPIs.
+func (r *rig) spawnResponder(cpu mach.CPU, quota int) {
+	ctrl := r.bus.Controller(cpu)
+	irqArrived := r.eng.NewCond()
+	ctrl.SetNotify(func() { irqArrived.Broadcast() })
+	r.eng.Go("responder", func(p *sim.Proc) {
+		for handled := 0; handled < quota; {
+			if !ctrl.Deliverable() {
+				irqArrived.Wait(p)
+				continue
+			}
+			if _, ok := ctrl.Take(); ok {
+				r.l.HandleIPI(p, cpu)
+				handled++
+			}
+		}
+	})
+}
+
+func TestCallManyRoundTrip(t *testing.T) {
+	r := newRig(false)
+	r.spawnResponder(2, 1)
+	var ranOn mach.CPU = -1
+	var payloadGot any
+	done := false
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		reqs := r.l.CallMany(p, 0, mach.MaskOf(2), func(p *sim.Proc, cpu mach.CPU, payload any) {
+			ranOn = cpu
+			payloadGot = payload
+		}, "info", false, r.dir.NewLine("info"))
+		r.l.WaitAll(p, 0, reqs)
+		done = AllDone(reqs)
+	})
+	r.eng.Run()
+	if ranOn != 2 || payloadGot != "info" {
+		t.Fatalf("handler ran on %d with %v", ranOn, payloadGot)
+	}
+	if !done {
+		t.Fatal("WaitAll returned before ack")
+	}
+	s := r.l.Stats()
+	if s.Calls != 1 || s.Kicks != 1 || s.LateAcks != 1 || s.EarlyAcks != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEarlyAckOrdering(t *testing.T) {
+	// With AckEarly, the initiator's wait can complete before the handler
+	// body finishes (the handler models a slow flush by delaying).
+	run := func(early bool) (waitDone, fnDone sim.Time) {
+		r := newRig(false)
+		r.spawnResponder(2, 1)
+		r.eng.Go("initiator", func(p *sim.Proc) {
+			reqs := r.l.CallMany(p, 0, mach.MaskOf(2), func(p *sim.Proc, cpu mach.CPU, _ any) {
+				p.Delay(5000) // slow remote flush
+				fnDone = p.Now()
+			}, nil, early, nil)
+			r.l.WaitAll(p, 0, reqs)
+			waitDone = p.Now()
+		})
+		r.eng.Run()
+		return
+	}
+	lateWait, lateFn := run(false)
+	earlyWait, earlyFn := run(true)
+	if lateWait < lateFn {
+		t.Fatalf("late ack: initiator done at %d before handler at %d", lateWait, lateFn)
+	}
+	if earlyWait >= earlyFn {
+		t.Fatalf("early ack: initiator done at %d, not before handler end %d", earlyWait, earlyFn)
+	}
+	if earlyWait >= lateWait {
+		t.Fatalf("early ack did not speed up initiator: %d vs %d", earlyWait, lateWait)
+	}
+}
+
+func TestKickElidedWhenQueueBusy(t *testing.T) {
+	r := newRig(false)
+	// Responder that never runs: queue stays populated.
+	r.bus.Controller(2).SetMasked(true)
+	r.eng.Go("a", func(p *sim.Proc) {
+		r.l.CallMany(p, 0, mach.MaskOf(2), func(*sim.Proc, mach.CPU, any) {}, nil, false, nil)
+	})
+	r.eng.Go("b", func(p *sim.Proc) {
+		p.Delay(10)
+		r.l.CallMany(p, 1, mach.MaskOf(2), func(*sim.Proc, mach.CPU, any) {}, nil, false, nil)
+	})
+	r.eng.Run()
+	s := r.l.Stats()
+	if s.Kicks != 1 || s.KicksElided != 1 {
+		t.Fatalf("stats = %+v, want 1 kick + 1 elided", s)
+	}
+	if r.l.PendingOn(2) != 2 {
+		t.Fatalf("pending = %d", r.l.PendingOn(2))
+	}
+}
+
+func TestConsolidatedLayoutSharesLines(t *testing.T) {
+	rc := newRig(true)
+	if rc.l.LazyLine(3) != rc.l.CSQLine(3) {
+		t.Fatal("consolidated: lazy line must alias the CSQ head line")
+	}
+	if rc.l.LazyLine(3) == rc.l.GenLine(3) {
+		t.Fatal("consolidated: gen state must be off the lazy line")
+	}
+	rb := newRig(false)
+	if rb.l.LazyLine(3) != rb.l.GenLine(3) {
+		t.Fatal("baseline: lazy flag and gen state share a line (false sharing)")
+	}
+	// Compare total cacheline transfers of a full shootdown-shaped
+	// exchange under both layouts: the consolidated layout must move
+	// fewer lines (paper Figure 4).
+	countTransfers := func(consolidated bool) uint64 {
+		r := newRig(consolidated)
+		r.spawnResponder(30, 1)
+		var infoLine *cache.Line
+		if !consolidated {
+			infoLine = r.dir.NewLine("flush_info")
+		}
+		handler := func(p *sim.Proc, cpu mach.CPU, _ any) {
+			// The flush function updates per-CPU TLB generation state.
+			p.Delay(r.dir.Write(cpu, r.l.GenLine(cpu)))
+		}
+		r.eng.Go("init", func(p *sim.Proc) {
+			// Responder recently wrote its own per-CPU TLB state.
+			p.Delay(r.dir.Write(30, r.l.GenLine(30)))
+			// Initiator checks lazy mode, then queues.
+			p.Delay(r.dir.Read(0, r.l.LazyLine(30)))
+			if infoLine != nil {
+				p.Delay(r.dir.Write(0, infoLine))
+			}
+			reqs := r.l.CallMany(p, 0, mach.MaskOf(30), handler, nil, false, infoLine)
+			r.l.WaitAll(p, 0, reqs)
+		})
+		r.eng.Run()
+		return r.dir.Stats().Transfers()
+	}
+	base := countTransfers(false)
+	cons := countTransfers(true)
+	if cons >= base {
+		t.Fatalf("consolidated transfers (%d) not fewer than baseline (%d)", cons, base)
+	}
+}
+
+func TestWaitFirst(t *testing.T) {
+	r := newRig(false)
+	r.spawnResponder(2, 1)  // same socket: acks first
+	r.spawnResponder(30, 1) // cross socket: acks later
+	var firstAt, allAt sim.Time
+	r.eng.Go("init", func(p *sim.Proc) {
+		reqs := r.l.CallMany(p, 0, mach.MaskOf(2, 30), func(p *sim.Proc, _ mach.CPU, _ any) {
+			p.Delay(500)
+		}, nil, false, nil)
+		r.l.WaitFirst(p, 0, reqs)
+		firstAt = p.Now()
+		if !AnyDone(reqs) {
+			t.Error("WaitFirst returned with nothing done")
+		}
+		r.l.WaitAll(p, 0, reqs)
+		allAt = p.Now()
+	})
+	r.eng.Run()
+	if firstAt >= allAt {
+		t.Fatalf("WaitFirst at %d, WaitAll at %d", firstAt, allAt)
+	}
+}
+
+func TestWaitFirstImmediateWhenDone(t *testing.T) {
+	r := newRig(false)
+	r.spawnResponder(2, 1)
+	r.eng.Go("init", func(p *sim.Proc) {
+		reqs := r.l.CallMany(p, 0, mach.MaskOf(2), func(*sim.Proc, mach.CPU, any) {}, nil, false, nil)
+		r.l.WaitAll(p, 0, reqs)
+		before := p.Now()
+		r.l.WaitFirst(p, 0, reqs) // already done: must not block
+		if p.Now() != before {
+			t.Error("WaitFirst blocked on completed requests")
+		}
+	})
+	r.eng.Run()
+}
+
+func TestSelfTargetPanics(t *testing.T) {
+	r := newRig(false)
+	r.eng.Go("init", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("self-target did not panic")
+			}
+		}()
+		r.l.CallMany(p, 0, mach.MaskOf(0), func(*sim.Proc, mach.CPU, any) {}, nil, false, nil)
+	})
+	r.eng.Run()
+}
+
+func TestMultiTargetAllHandled(t *testing.T) {
+	r := newRig(false)
+	targets := mach.MaskOf(2, 4, 6, 30, 32)
+	for _, c := range targets.CPUs() {
+		r.spawnResponder(c, 1)
+	}
+	ran := map[mach.CPU]bool{}
+	r.eng.Go("init", func(p *sim.Proc) {
+		reqs := r.l.CallMany(p, 0, targets, func(_ *sim.Proc, cpu mach.CPU, _ any) {
+			ran[cpu] = true
+		}, nil, false, nil)
+		r.l.WaitAll(p, 0, reqs)
+	})
+	r.eng.Run()
+	if len(ran) != 5 {
+		t.Fatalf("handled on %d CPUs, want 5: %v", len(ran), ran)
+	}
+}

@@ -1,0 +1,132 @@
+package syscalls_test
+
+import (
+	"testing"
+
+	"shootdown/internal/core"
+	"shootdown/internal/kernel"
+	"shootdown/internal/mm"
+	"shootdown/internal/syscalls"
+)
+
+func TestForkThroughKernel(t *testing.T) {
+	eng, k, f := newWorld(t, core.Config{ConcurrentFlush: true, EarlyAck: true})
+	parent := k.NewAddressSpace()
+
+	var childAS *mm.AddressSpace
+	var vaShared uint64
+	phase := 0
+
+	// A sibling thread of the parent keeps its TLB warm with the page
+	// that fork will write-protect: fork must shoot it down.
+	sibling := &kernel.Task{Name: "sibling", MM: parent, Fn: func(ctx *kernel.Ctx) {
+		for vaShared == 0 {
+			ctx.UserRun(1000)
+		}
+		if err := ctx.Touch(vaShared, mm.AccessWrite); err != nil {
+			t.Error(err)
+		}
+		for phase < 1 {
+			ctx.UserRun(1000)
+		}
+		// After fork, our cached writable translation must be gone: the
+		// write below must fault (CoW), not sail through a stale entry.
+		if err := ctx.Touch(vaShared, mm.AccessWrite); err != nil {
+			t.Error(err)
+		}
+		phase = 2
+	}}
+	k.CPU(2).Spawn(sibling)
+
+	main := &kernel.Task{Name: "main", MM: parent, Fn: func(ctx *kernel.Ctx) {
+		v, err := syscalls.MMap(ctx, 4*pg, mm.ProtRead|mm.ProtWrite, mm.Anon, nil, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := ctx.Touch(v.Start, mm.AccessWrite); err != nil {
+			t.Error(err)
+		}
+		vaShared = v.Start
+		ctx.UserRun(20_000) // let the sibling cache the translation
+		child, err := syscalls.Fork(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		childAS = child
+		phase = 1
+		for phase < 2 {
+			ctx.UserRun(1000)
+		}
+	}}
+	k.CPU(0).Spawn(main)
+	eng.Run()
+	if childAS == nil || phase != 2 {
+		t.Fatalf("fork flow incomplete: child=%v phase=%d", childAS != nil, phase)
+	}
+	if childAS.ID == parent.ID {
+		t.Fatal("child shares parent ID")
+	}
+	// Fork's write-protect flush was a shootdown (the sibling was active).
+	if f.Stats().Shootdowns == 0 {
+		t.Fatalf("fork produced no shootdown: %+v", f.Stats())
+	}
+	// The sibling's write after fork went through CoW: parent and child
+	// now map different frames at vaShared.
+	pp, _, err := parent.PT.Lookup(vaShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _, err := childAS.PT.Lookup(vaShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Frame == cp.Frame {
+		t.Fatal("parent write did not break CoW sharing")
+	}
+}
+
+func TestForkChildRunsIndependently(t *testing.T) {
+	eng, k, _ := newWorld(t, core.Baseline())
+	parent := k.NewAddressSpace()
+	var childTask *kernel.Task
+	var v *mm.VMA
+
+	main := &kernel.Task{Name: "parent", MM: parent, Fn: func(ctx *kernel.Ctx) {
+		var err error
+		v, err = syscalls.MMap(ctx, 4*pg, mm.ProtRead|mm.ProtWrite, mm.Anon, nil, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctx.Touch(v.Start, mm.AccessWrite)
+		child, err := syscalls.Fork(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Schedule a thread in the child's address space on another CPU.
+		childTask = &kernel.Task{Name: "child", MM: child, Fn: func(cc *kernel.Ctx) {
+			// The child reads the CoW page (shared frame), then writes it
+			// (private copy).
+			if err := cc.Touch(v.Start, mm.AccessRead); err != nil {
+				t.Error(err)
+			}
+			if err := cc.Touch(v.Start, mm.AccessWrite); err != nil {
+				t.Error(err)
+			}
+			pc, _, _ := child.PT.Lookup(v.Start)
+			pp, _, _ := parent.PT.Lookup(v.Start)
+			if pc.Frame == pp.Frame {
+				t.Error("child write did not get a private copy")
+			}
+		}}
+		k.CPU(4).Spawn(childTask)
+	}}
+	k.CPU(0).Spawn(main)
+	eng.Run()
+	if childTask == nil || !childTask.Done() {
+		t.Fatal("child task did not run")
+	}
+}

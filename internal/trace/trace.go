@@ -1,0 +1,113 @@
+// Package trace records timestamped protocol events so a single shootdown
+// can be rendered as an annotated timeline (cmd/shootdown-trace) and tests
+// can assert on protocol event ordering.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"shootdown/internal/mach"
+	"shootdown/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds recorded by the kernel and shootdown layers.
+const (
+	SyscallEnter  Kind = "syscall-enter"
+	SyscallExit   Kind = "syscall-exit"
+	ShootBegin    Kind = "shootdown-begin"
+	TargetPicked  Kind = "target"
+	TargetSkipped Kind = "target-skip"
+	IPISent       Kind = "ipi-send"
+	LocalFlush    Kind = "local-flush"
+	IRQEnter      Kind = "irq-enter"
+	RemoteFlush   Kind = "remote-flush"
+	Ack           Kind = "ack"
+	IRQExit       Kind = "irq-exit"
+	WaitDone      Kind = "wait-done"
+	ShootEnd      Kind = "shootdown-end"
+	DeferredFlush Kind = "deferred-user-flush"
+	CoWEvent      Kind = "cow"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	CPU  mach.CPU
+	Kind Kind
+	Note string
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and records
+// nothing, so call sites need no guards.
+type Recorder struct {
+	events []Event
+	eng    *sim.Engine
+}
+
+// New returns a recorder reading timestamps from eng.
+func New(eng *sim.Engine) *Recorder { return &Recorder{eng: eng} }
+
+// Record appends an event; nil-safe.
+func (r *Recorder) Record(cpu mach.CPU, kind Kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		At: r.eng.Now(), CPU: cpu, Kind: kind, Note: fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Reset clears the recording; nil-safe.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.events = r.events[:0]
+	}
+}
+
+// Filter returns the events of the given kinds.
+func (r *Recorder) Filter(kinds ...Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		for _, k := range kinds {
+			if e.Kind == k {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Write renders the timeline, with per-event deltas from the first event.
+func (r *Recorder) Write(w io.Writer) {
+	evs := r.Events()
+	if len(evs) == 0 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	t0 := evs[0].At
+	for _, e := range evs {
+		fmt.Fprintf(w, "%8d  +%-7d cpu%-3d %-20s %s\n",
+			e.At, e.At-t0, e.CPU, e.Kind, e.Note)
+	}
+}
+
+// String renders the timeline.
+func (r *Recorder) String() string {
+	var sb strings.Builder
+	r.Write(&sb)
+	return sb.String()
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"shootdown/internal/sim"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, ShootBegin, "x") // must not panic
+	if r.Events() != nil {
+		t.Fatal("nil recorder has events")
+	}
+	r.Reset()
+}
+
+func TestRecordAndRender(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New(eng)
+	eng.Go("p", func(p *sim.Proc) {
+		r.Record(0, ShootBegin, "gen %d", 5)
+		p.Delay(100)
+		r.Record(3, Ack, "early=%v", true)
+	})
+	eng.Run()
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != ShootBegin || evs[0].Note != "gen 5" {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].At-evs[0].At != 100 {
+		t.Fatalf("delta = %d", evs[1].At-evs[0].At)
+	}
+	out := r.String()
+	if !strings.Contains(out, "shootdown-begin") || !strings.Contains(out, "cpu3") {
+		t.Fatalf("render = %q", out)
+	}
+	if !strings.Contains(out, "+100") {
+		t.Fatalf("missing delta: %q", out)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New(eng)
+	r.Record(0, ShootBegin, "")
+	r.Record(1, Ack, "")
+	r.Record(2, Ack, "")
+	r.Record(0, ShootEnd, "")
+	if got := len(r.Filter(Ack)); got != 2 {
+		t.Fatalf("acks = %d", got)
+	}
+	if got := len(r.Filter(ShootBegin, ShootEnd)); got != 2 {
+		t.Fatalf("begin/end = %d", got)
+	}
+}
+
+func TestResetAndEmptyRender(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New(eng)
+	r.Record(0, ShootBegin, "")
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("reset failed")
+	}
+	if !strings.Contains(r.String(), "no events") {
+		t.Fatal("empty render wrong")
+	}
+}

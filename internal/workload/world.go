@@ -1,0 +1,57 @@
+// Package workload implements the paper's benchmark workloads on the
+// simulated machine: the madvise shootdown microbenchmark (Figures 5-8 and
+// Table 3), the copy-on-write microbenchmark (Figure 9), a Sysbench-style
+// mmap-write/fdatasync database workload (Figure 10), an Apache-style
+// mmap/send/munmap web-serving workload (Figure 11), and the
+// page-fracturing dTLB-miss experiment (Table 4).
+package workload
+
+import (
+	"fmt"
+
+	"shootdown/internal/core"
+	"shootdown/internal/kernel"
+	"shootdown/internal/mach"
+	"shootdown/internal/sim"
+)
+
+// World bundles a booted simulated machine.
+type World struct {
+	Eng *sim.Engine
+	K   *kernel.Kernel
+	F   *core.Flusher
+}
+
+// Mode selects the paper's two evaluation setups.
+type Mode bool
+
+const (
+	// Safe is Linux's default: PTI and mitigations on.
+	Safe Mode = true
+	// Unsafe disables the Meltdown/Spectre mitigations (no PTI).
+	Unsafe Mode = false
+)
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	if m == Safe {
+		return "safe"
+	}
+	return "unsafe"
+}
+
+// NewWorld boots a machine with the given safety mode and protocol config.
+func NewWorld(mode Mode, cfg core.Config, seed uint64) *World {
+	eng := sim.NewEngine(seed)
+	kcfg := kernel.DefaultConfig()
+	kcfg.PTI = bool(mode)
+	kcfg.ConsolidatedCachelines = cfg.CachelineConsolidation
+	k := kernel.New(eng, mach.DefaultTopology(), mach.DefaultCosts(), kcfg)
+	f, err := core.NewFlusher(k, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	k.SetFlusher(f)
+	k.Start()
+	return &World{Eng: eng, K: k, F: f}
+}
