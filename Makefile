@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race lint sanitize fuzz check clean
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full unit/integration test suite
+test:
+	$(GO) test ./...
+
+## race: run the suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## lint: gofmt + go vet + the repo-invariant analyzers (tlbcheck -lint)
+lint:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/tlbcheck -lint ./...
+
+## sanitize: run the experiment suite under the shadow-oracle checker
+sanitize:
+	$(GO) run ./cmd/tlbcheck -quick -v
+
+## fuzz: randomized coherence fuzzing with the sanitizer attached
+fuzz:
+	$(GO) run ./cmd/tlbfuzz -runs 50
+
+## check: everything CI runs (build, tests, race, lint, sanitizer)
+check: build test race lint sanitize
+
+clean:
+	$(GO) clean ./...

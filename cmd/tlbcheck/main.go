@@ -1,0 +1,102 @@
+// Command tlbcheck is the repository's coherence and invariant checker.
+//
+// In its default mode it runs the paper's experiment suite with the
+// shadow-oracle TLB coherence sanitizer attached to every simulated
+// machine (see internal/sanitizer): every restrictive page-table change
+// must be covered by a shootdown before any CPU translates through the
+// stale entry, every IPI must be acknowledged, early acks are forbidden
+// on table-freeing flushes, and mm lock ordering must stay acyclic. It
+// exits non-zero on any violation.
+//
+// With -lint it instead runs the repo-invariant static analyzers
+// (internal/sanitizer/lint): no wall-clock or global-PRNG use, no literal
+// cycle costs outside the cost model, no time charged inside map
+// iteration.
+//
+// Usage:
+//
+//	tlbcheck                     # sanitize the full experiment suite
+//	tlbcheck -quick              # CI-sized runs
+//	tlbcheck -run fig6,table3    # specific experiments
+//	tlbcheck -lint ./...         # static analyzers only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shootdown/internal/experiments"
+	"shootdown/internal/sanitizer"
+	"shootdown/internal/sanitizer/lint"
+)
+
+func main() {
+	var (
+		doLint  = flag.Bool("lint", false, "run the static analyzers instead of the sanitized simulation")
+		quick   = flag.Bool("quick", false, "shrink experiment iteration counts (CI size)")
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed    = flag.Uint64("seed", 1, "deterministic simulation seed")
+		verbose = flag.Bool("v", false, "print per-experiment progress")
+	)
+	flag.Parse()
+
+	if *doLint {
+		os.Exit(runLint(flag.Args()))
+	}
+	os.Exit(runSanitized(*run, *quick, *seed, *verbose))
+}
+
+func runLint(patterns []string) int {
+	findings, err := lint.CheckTree(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlbcheck: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tlbcheck: %d lint finding(s)\n", len(findings))
+		return 1
+	}
+	fmt.Println("tlbcheck: lint clean")
+	return 0
+}
+
+func runSanitized(run string, quick bool, seed uint64, verbose bool) int {
+	names := experiments.Names()
+	if !strings.EqualFold(run, "all") {
+		names = strings.Split(run, ",")
+	}
+	opts := experiments.Options{Quick: quick, Seed: seed, Sanitize: true}
+	summaries := make([]*sanitizer.Summary, 0, len(names))
+	total := &sanitizer.Summary{}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if verbose {
+			fmt.Fprintf(os.Stderr, "checking %s...\n", name)
+		}
+		_, sum, err := experiments.Run(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlbcheck: %v\n", err)
+			return 2
+		}
+		summaries = append(summaries, sum)
+		if verbose && !sum.OK() {
+			fmt.Fprintf(os.Stderr, "  %s: %d violation(s)\n", name, len(sum.Violations))
+		}
+	}
+	for _, s := range summaries {
+		total.Worlds += s.Worlds
+		total.Violations = append(total.Violations, s.Violations...)
+		total.Dropped += s.Dropped
+		total.Stats.Add(s.Stats)
+	}
+	fmt.Print(total.Report())
+	if !total.OK() {
+		return 1
+	}
+	return 0
+}

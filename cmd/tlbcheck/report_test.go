@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shootdown/internal/sanitizer"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportGolden locks down the violation report format: the report is
+// the sanitizer's user interface, and downstream tooling (CI log scraping,
+// the DESIGN.md walkthrough) depends on its shape.
+func TestReportGolden(t *testing.T) {
+	sum := &sanitizer.Summary{
+		Worlds: 3,
+		Violations: []sanitizer.Violation{
+			{
+				Kind: "stale-translation", CPU: 2, At: 61530,
+				Msg: "stale-translation: cpu2 hit mm1 va 0x30001000 via kernel PCID 0x2: translates memory that is no longer mapped\n" +
+					"  tlb entry: va 0x30001000 frame 0x2a size 4K flags pwua-----\n" +
+					"  shadow pte: <none>\n" +
+					"  pte change: unmap of 0x30001000 (4K, old frame 0x2a flags pwuad----) by cpu0 at t=58200\n" +
+					"  flush window: closed at t=60110 by return-to-user (cpu0, no covering shootdown observed)\n" +
+					"  active config: baseline (unsafe mode)",
+			},
+			{
+				Kind: "unacked-ipi", CPU: 30, At: 99000,
+				Msg: "unacked-ipi: flush request queued by cpu0 for cpu30 at t=97560 was never acknowledged (early-ack=false)",
+			},
+		},
+		Stats: sanitizer.Stats{
+			PTEChanges: 1200, RestrictiveChanges: 600, ObligationsOpened: 600,
+			ClosedByShootdown: 599, ClosedByUserReturn: 1,
+			TLBHits: 48210, StaleLegalOpen: 12, StaleLegalLazy: 0,
+			SelectiveFlushes: 2400, RedundantSelective: 1800,
+			FullFlushes: 120, RedundantFull: 120,
+			IPIRequests: 600, Shootdowns: 600,
+		},
+	}
+	compareGolden(t, "report_fail.golden", sum.Report())
+
+	clean := &sanitizer.Summary{
+		Worlds: 1,
+		Stats: sanitizer.Stats{
+			PTEChanges: 17, RestrictiveChanges: 8, ObligationsOpened: 8,
+			ClosedByShootdown: 8, TLBHits: 9, SelectiveFlushes: 32,
+			RedundantSelective: 23, FullFlushes: 4, RedundantFull: 4,
+			IPIRequests: 1, Shootdowns: 1,
+		},
+	}
+	compareGolden(t, "report_pass.golden", clean.Report())
+}
+
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

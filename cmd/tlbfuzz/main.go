@@ -21,6 +21,7 @@ import (
 	"shootdown/internal/mach"
 	"shootdown/internal/mm"
 	"shootdown/internal/pagetable"
+	"shootdown/internal/sanitizer"
 	"shootdown/internal/sim"
 	"shootdown/internal/syscalls"
 )
@@ -88,6 +89,10 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool) []string {
 	if err != nil {
 		return []string{err.Error()}
 	}
+	// The shadow-oracle sanitizer checks every TLB hit against the page
+	// tables *during* the run — far stronger than the end-state snapshot
+	// check below, which only sees what survived to quiescence.
+	chk := sanitizer.Attach(k, f, sanitizer.Config{})
 	k.SetFlusher(f)
 	k.Start()
 
@@ -192,10 +197,16 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool) []string {
 			}
 		}
 	}
+	if sum := chk.Finish(); !sum.OK() {
+		for _, v := range sum.Violations {
+			fail("sanitizer %s (cpu%d t=%d): %s", v.Kind, v.CPU, v.At, v.Msg)
+		}
+	}
 	if verbose {
 		st := f.Stats()
-		fmt.Printf("seed=%d cfg=%s pti=%v workers=%d: shootdowns=%d remote(sel=%d full=%d skip=%d) errs=%d\n",
-			seed, cfg, pti, nworkers, st.Shootdowns, st.RemoteSelective, st.RemoteFull, st.RemoteSkipped, len(errs))
+		cst := chk.Stats()
+		fmt.Printf("seed=%d cfg=%s pti=%v workers=%d: shootdowns=%d remote(sel=%d full=%d skip=%d) checked(hits=%d windows=%d) errs=%d\n",
+			seed, cfg, pti, nworkers, st.Shootdowns, st.RemoteSelective, st.RemoteFull, st.RemoteSkipped, cst.TLBHits, cst.ObligationsOpened, len(errs))
 	}
 	return errs
 }

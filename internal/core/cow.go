@@ -30,6 +30,7 @@ func (f *Flusher) CoWFixup(ctx *kernel.Ctx, as *mm.AddressSpace, res mm.FaultRes
 		Stride: pagetable.Size4K, NewGen: newGen,
 	}
 
+	f.shootBegin(c.ID, info)
 	targets := f.pickTargets(ctx, as, info)
 	earlyAck := f.Cfg.EarlyAck // CoW never frees page tables
 
@@ -40,6 +41,7 @@ func (f *Flusher) CoWFixup(ctx *kernel.Ctx, as *mm.AddressSpace, res mm.FaultRes
 	k.Trace.Record(c.ID, trace.CoWEvent, "va %#x trick=%v exec=%v", res.VA, useTrick, res.Executable)
 	if targets.Empty() {
 		f.cowLocal(ctx, as, info, useTrick)
+		f.shootEnd(c.ID, info)
 		return
 	}
 	f.stats.Shootdowns++
@@ -53,6 +55,7 @@ func (f *Flusher) CoWFixup(ctx *kernel.Ctx, as *mm.AddressSpace, res mm.FaultRes
 		rs := k.SMP.CallMany(p, c.ID, targets, f.remoteFlushFn, info, earlyAck, infoLine)
 		c.WaitRequests(p, rs)
 	}
+	f.shootEnd(c.ID, info)
 }
 
 func (f *Flusher) cowInfoLine(ctx *kernel.Ctx) *cache.Line {

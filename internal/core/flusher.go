@@ -52,7 +52,40 @@ type Flusher struct {
 	// ipiMtx serializes entire shootdowns when SerializedIPIs is set
 	// (FreeBSD's smp_ipi_mtx).
 	ipiMtx *mm.RWSem
+
+	probe *Probe
 }
+
+// Probe observes shootdown lifecycle events. ShootBegin fires once per
+// FlushAfter/CoWFixup after the flush descriptor is built; ShootEnd fires
+// when the flush obligation is discharged from the initiator's point of
+// view — after all acks for an IPI shootdown, immediately for local-only
+// and lazy-deferred flushes. Callbacks must be purely observational (no
+// Delay, no protocol mutation) so a probed run stays cycle-identical to an
+// unprobed one.
+type Probe struct {
+	ShootBegin func(cpu mach.CPU, info *FlushInfo)
+	ShootEnd   func(cpu mach.CPU, info *FlushInfo)
+}
+
+// SetProbe installs (or, with nil, removes) the lifecycle probe.
+func (f *Flusher) SetProbe(pr *Probe) { f.probe = pr }
+
+func (f *Flusher) shootBegin(cpu mach.CPU, info *FlushInfo) {
+	if f.probe != nil && f.probe.ShootBegin != nil {
+		f.probe.ShootBegin(cpu, info)
+	}
+}
+
+func (f *Flusher) shootEnd(cpu mach.CPU, info *FlushInfo) {
+	if f.probe != nil && f.probe.ShootEnd != nil {
+		f.probe.ShootEnd(cpu, info)
+	}
+}
+
+// IPIMutex returns the SerializedIPIs global mutex (nil unless that
+// extension is enabled); exposed so checkers can watch its lock order.
+func (f *Flusher) IPIMutex() *mm.RWSem { return f.ipiMtx }
 
 // NewFlusher builds the protocol implementation and validates that the
 // configured cacheline layout matches the SMP layer's.
@@ -120,6 +153,7 @@ func (f *Flusher) FlushAfter(ctx *kernel.Ctx, as *mm.AddressSpace, fr mm.FlushRa
 
 	k.Trace.Record(c.ID, trace.ShootBegin, "mm %d gen %d range [%#x,%#x) full=%v freed=%v",
 		as.ID, newGen, info.Start, info.End, info.Full, info.FreedTables)
+	f.shootBegin(c.ID, info)
 	targets := f.pickTargets(ctx, as, info)
 
 	earlyAck := f.Cfg.EarlyAck && !info.FreedTables
@@ -130,6 +164,7 @@ func (f *Flusher) FlushAfter(ctx *kernel.Ctx, as *mm.AddressSpace, fr mm.FlushRa
 	if targets.Empty() {
 		f.stats.LocalOnly++
 		f.localFlush(ctx, info, nil)
+		f.shootEnd(c.ID, info)
 		return
 	}
 
@@ -150,6 +185,7 @@ func (f *Flusher) FlushAfter(ctx *kernel.Ctx, as *mm.AddressSpace, fr mm.FlushRa
 			})
 			f.stats.LazyDeferred++
 		}
+		f.shootEnd(c.ID, info)
 		return
 	}
 	f.stats.Shootdowns++
@@ -184,6 +220,7 @@ func (f *Flusher) FlushAfter(ctx *kernel.Ctx, as *mm.AddressSpace, fr mm.FlushRa
 		c.WaitRequests(p, reqs)
 	}
 	k.Trace.Record(c.ID, trace.ShootEnd, "all acks received")
+	f.shootEnd(c.ID, info)
 }
 
 // pickTargets reads the mm cpumask and per-CPU indications to build the

@@ -25,6 +25,10 @@ type Options struct {
 	Quick bool
 	// Seed derives all run seeds.
 	Seed uint64
+	// Sanitize attaches the shadow-oracle coherence checker (see
+	// internal/sanitizer) to every machine the experiment boots. Only
+	// honoured by Run; direct Runner calls stay unchecked.
+	Sanitize bool
 }
 
 // DefaultOptions returns the full-scale settings.

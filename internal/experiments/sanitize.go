@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shootdown/internal/report"
+	"shootdown/internal/sanitizer"
+	"shootdown/internal/workload"
+)
+
+// Run executes the named experiment from the registry. When o.Sanitize is
+// set, the shadow-oracle coherence checker is attached to every machine
+// the experiment boots and the merged summary is returned alongside the
+// tables; otherwise the summary is nil.
+//
+// The lazy-shootdown extension (core.Config.LazyRemote) is granted its
+// designed staleness window: hits on CPUs with queued lazy work are legal
+// for that machine (see sanitizer.Config.AllowLazyWindow).
+func Run(name string, o Options) ([]*report.Table, *sanitizer.Summary, error) {
+	runner, ok := Registry()[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	if !o.Sanitize {
+		return runner(o), nil, nil
+	}
+	var checkers []*sanitizer.Checker
+	restore := workload.SetBootHook(func(w *workload.World) {
+		checkers = append(checkers, sanitizer.Attach(w.K, w.F, sanitizer.Config{
+			AllowLazyWindow: w.F.Cfg.LazyRemote,
+		}))
+	})
+	defer restore()
+	tables := runner(o)
+	return tables, sanitizer.Merge(checkers), nil
+}

@@ -105,6 +105,16 @@ func (c *CPU) LocalGen(as *mm.AddressSpace) uint64 { return c.localGen[as.ID] }
 // gen. The shootdown responder calls it after flushing.
 func (c *CPU) SetLocalGen(as *mm.AddressSpace, gen uint64) { c.localGen[as.ID] = gen }
 
+// enterUser marks the transition to user mode. Every site that sets
+// inUser funnels through it so the kernel's UserReturnHook sees all
+// return-to-user transitions.
+func (c *CPU) enterUser() {
+	c.inUser = true
+	if c.K.UserReturnHook != nil {
+		c.K.UserReturnHook(c)
+	}
+}
+
 // ResetCounters zeroes measurement counters (between benchmark phases).
 func (c *CPU) ResetCounters() {
 	c.Interrupted, c.IRQsHandled = 0, 0
@@ -164,7 +174,7 @@ func (c *CPU) loop(p *sim.Proc) {
 			c.runDeferredUserFlushes(p)
 		}
 		c.curTask = t
-		c.inUser = true
+		c.enterUser()
 		t.Fn(&Ctx{K: c.K, CPU: c, P: p, Task: t})
 		c.inUser = false
 		c.curTask = nil
@@ -292,7 +302,7 @@ func (c *CPU) ServiceIRQs(p *sim.Proc) {
 				c.runDeferredUserFlushes(p)
 				p.Delay(c.K.Cost.PTITrampoline)
 			}
-			c.inUser = true
+			c.enterUser()
 		}
 		c.K.Trace.Record(c.ID, trace.IRQExit, "")
 		c.IRQsHandled++

@@ -104,6 +104,16 @@ type Kernel struct {
 
 	// Trace, when non-nil, records protocol events (see internal/trace).
 	Trace *trace.Recorder
+
+	// ASHook, when non-nil, observes every address space created through
+	// the kernel (NewAddressSpace and ForkAddressSpace, after the child's
+	// page tables are populated). The sanitizer uses it to seed shadow
+	// state and install observers. Must be purely observational.
+	ASHook func(as *mm.AddressSpace)
+	// UserReturnHook, when non-nil, fires every time a CPU transitions to
+	// user mode (after deferred user flushes ran). Must be purely
+	// observational.
+	UserReturnHook func(c *CPU)
 }
 
 // mmLinePair holds the contended cachelines of one mm_struct: the TLB
@@ -182,7 +192,11 @@ func (k *Kernel) CPUs() []*CPU { return k.cpus }
 func (k *Kernel) NewAddressSpace() *mm.AddressSpace {
 	k.nextMM++
 	sem := mm.NewRWSem(k.Eng, fmt.Sprintf("mmap_sem[%d]", k.nextMM))
-	return mm.NewAddressSpace(k.nextMM, k.Alloc, sem)
+	as := mm.NewAddressSpace(k.nextMM, k.Alloc, sem)
+	if k.ASHook != nil {
+		k.ASHook(as)
+	}
+	return as
 }
 
 // NewFile creates a simulated file backed by the machine's frame allocator.
@@ -196,7 +210,11 @@ func (k *Kernel) NewFile(name string, size uint64) *mm.File {
 func (k *Kernel) ForkAddressSpace(parent *mm.AddressSpace) (*mm.AddressSpace, mm.FlushRange, mm.ForkStats) {
 	k.nextMM++
 	sem := mm.NewRWSem(k.Eng, fmt.Sprintf("mmap_sem[%d]", k.nextMM))
-	return parent.Fork(k.nextMM, sem)
+	child, fr, st := parent.Fork(k.nextMM, sem)
+	if k.ASHook != nil {
+		k.ASHook(child)
+	}
+	return child, fr, st
 }
 
 // EnableTrace attaches a protocol-event recorder (see internal/trace) and

@@ -70,7 +70,7 @@ func (ctx *Ctx) ExitSyscall() {
 		c.runDeferredUserFlushes(p)
 		p.Delay(c.K.Cost.PTITrampoline)
 	}
-	c.inUser = true
+	c.enterUser()
 	c.K.Trace.Record(c.ID, trace.SyscallExit, "")
 	// Back in user mode: deliver anything that arrived during the exit.
 	c.ServiceIRQs(p)

@@ -137,6 +137,8 @@ func (ctx *Ctx) pageFault(va uint64, access mm.Access) error {
 		c.runDeferredUserFlushes(p)
 		p.Delay(c.K.Cost.PTITrampoline)
 	}
-	c.inUser = wasUser
+	if wasUser {
+		c.enterUser()
+	}
 	return ferr
 }

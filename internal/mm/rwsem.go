@@ -16,6 +16,32 @@ type RWSem struct {
 
 	// Contended counts acquisitions that had to wait (for reports).
 	Contended uint64
+
+	obs *SemObserver
+}
+
+// SemObserver receives lock-event notifications for deadlock/lock-order
+// checkers. Acquired fires after a successful acquisition (including the
+// Try variants), Released after a release. Callbacks must be purely
+// observational.
+type SemObserver struct {
+	Acquired func(s *RWSem, write bool)
+	Released func(s *RWSem, write bool)
+}
+
+// SetObserver installs (or, with nil, removes) the lock-event observer.
+func (s *RWSem) SetObserver(o *SemObserver) { s.obs = o }
+
+func (s *RWSem) acquired(write bool) {
+	if s.obs != nil && s.obs.Acquired != nil {
+		s.obs.Acquired(s, write)
+	}
+}
+
+func (s *RWSem) released(write bool) {
+	if s.obs != nil && s.obs.Released != nil {
+		s.obs.Released(s, write)
+	}
 }
 
 // NewRWSem returns an unlocked semaphore.
@@ -32,6 +58,7 @@ func (s *RWSem) TryDownRead() bool {
 		return false
 	}
 	s.readers++
+	s.acquired(false)
 	return true
 }
 
@@ -41,6 +68,7 @@ func (s *RWSem) TryDownWrite() bool {
 		return false
 	}
 	s.writer = true
+	s.acquired(true)
 	return true
 }
 
@@ -60,6 +88,7 @@ func (s *RWSem) DownRead(p *sim.Proc) {
 		s.changed.Wait(p)
 	}
 	s.readers++
+	s.acquired(false)
 }
 
 // UpRead releases a read acquisition.
@@ -71,6 +100,7 @@ func (s *RWSem) UpRead(p *sim.Proc) {
 	if s.readers == 0 {
 		s.changed.Broadcast()
 	}
+	s.released(false)
 }
 
 // DownWrite acquires the semaphore exclusively.
@@ -80,6 +110,7 @@ func (s *RWSem) DownWrite(p *sim.Proc) {
 		s.changed.Wait(p)
 	}
 	s.writer = true
+	s.acquired(true)
 }
 
 // UpWrite releases an exclusive acquisition.
@@ -89,6 +120,7 @@ func (s *RWSem) UpWrite(p *sim.Proc) {
 	}
 	s.writer = false
 	s.changed.Broadcast()
+	s.released(true)
 }
 
 // HeldForWrite reports whether a writer currently holds the semaphore.

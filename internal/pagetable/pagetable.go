@@ -153,6 +153,30 @@ type Table struct {
 	tablePages int
 	// leaves counts present leaf entries.
 	leaves int
+	obs    func(Change)
+}
+
+// Change describes one mutation of a leaf PTE. Old is the zero PTE when
+// the leaf did not previously exist; New is the zero PTE when the leaf was
+// removed.
+type Change struct {
+	// VA is the page-aligned address of the mutated leaf.
+	VA uint64
+	// Size is the leaf page size.
+	Size Size
+	// Old and New are the leaf PTE before and after the mutation.
+	Old, New PTE
+}
+
+// SetObserver installs (or, with nil, removes) a callback fired after
+// every leaf-PTE mutation (Map, SetFlags, ClearFlags, Remap, Unmap). The
+// callback must not mutate the table.
+func (t *Table) SetObserver(fn func(Change)) { t.obs = fn }
+
+func (t *Table) notify(va uint64, size Size, old, new PTE) {
+	if t.obs != nil {
+		t.obs(Change{VA: va &^ (size.Bytes() - 1), Size: size, Old: old, New: new})
+	}
 }
 
 // New returns an empty page table.
@@ -213,6 +237,7 @@ func (t *Table) Map(va, frame uint64, size Size, flags Flags) error {
 	n.ptes[idx] = PTE{Frame: frame, Flags: flags | Present}
 	n.live++
 	t.leaves++
+	t.notify(va, size, PTE{}, n.ptes[idx])
 	return nil
 }
 
@@ -278,11 +303,13 @@ func (t *Table) leaf(va uint64) (*node, int, Size, error) {
 
 // SetFlags ors extra flag bits into the leaf PTE covering va.
 func (t *Table) SetFlags(va uint64, add Flags) error {
-	n, idx, _, err := t.leaf(va)
+	n, idx, size, err := t.leaf(va)
 	if err != nil {
 		return err
 	}
+	old := n.ptes[idx]
 	n.ptes[idx].Flags |= add
+	t.notify(va, size, old, n.ptes[idx])
 	return nil
 }
 
@@ -292,11 +319,13 @@ func (t *Table) ClearFlags(va uint64, remove Flags) error {
 	if remove.Has(Present) {
 		return errors.New("pagetable: use Unmap to clear Present")
 	}
-	n, idx, _, err := t.leaf(va)
+	n, idx, size, err := t.leaf(va)
 	if err != nil {
 		return err
 	}
+	old := n.ptes[idx]
 	n.ptes[idx].Flags &^= remove
+	t.notify(va, size, old, n.ptes[idx])
 	return nil
 }
 
@@ -308,8 +337,9 @@ func (t *Table) Remap(va, frame uint64, flags Flags) error {
 		return err
 	}
 	keep := n.ptes[idx].Flags & Huge
-	_ = size
+	old := n.ptes[idx]
 	n.ptes[idx] = PTE{Frame: frame, Flags: flags | keep | Present}
+	t.notify(va, size, old, n.ptes[idx])
 	return nil
 }
 
@@ -334,9 +364,15 @@ func (t *Table) Unmap(va uint64) (freedTables bool, err error) {
 func (t *Table) unmapRec(n *node, va uint64, level int) (freed bool, err error) {
 	idx := levelIndex(va, level)
 	if n.ptes[idx].Flags.Has(Present) {
+		old := n.ptes[idx]
+		size := Size4K
+		if old.Flags.Has(Huge) {
+			size = Size2M
+		}
 		n.ptes[idx] = PTE{}
 		n.live--
 		t.leaves--
+		t.notify(va, size, old, PTE{})
 		return false, nil
 	}
 	child := n.children[idx]

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func loadFixture(t *testing.T, name, fakeRel string) []Finding {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckSource(fakeRel, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func countBy(fs []Finding, analyzer string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Analyzer == analyzer {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDeterminismAnalyzerFires(t *testing.T) {
+	fs := loadFixture(t, "bad_determinism.go", "internal/workload/fixture.go")
+	if got := countBy(fs, "determinism"); got != 2 {
+		t.Fatalf("determinism findings = %d, want 2 (time + math/rand): %v", got, fs)
+	}
+}
+
+func TestCostLiteralAnalyzerFires(t *testing.T) {
+	fs := loadFixture(t, "bad_costliteral.go", "internal/kernel/fixture.go")
+	if got := countBy(fs, "costliteral"); got != 1 {
+		t.Fatalf("costliteral findings = %d, want 1: %v", got, fs)
+	}
+	if fs[0].Line != 9 {
+		t.Fatalf("finding at line %d, want 9: %v", fs[0].Line, fs[0])
+	}
+}
+
+func TestCostLiteralScopedToMachineModel(t *testing.T) {
+	// The same source outside the machine-model dirs is not flagged:
+	// workload scripts and cmd tools may use scenario-level literals.
+	fs := loadFixture(t, "bad_costliteral.go", "cmd/tlbfuzz/fixture.go")
+	if got := countBy(fs, "costliteral"); got != 0 {
+		t.Fatalf("costliteral fired outside scope: %v", fs)
+	}
+}
+
+func TestMapOrderAnalyzerFires(t *testing.T) {
+	fs := loadFixture(t, "bad_maporder.go", "internal/core/fixture.go")
+	if got := countBy(fs, "maporder"); got != 2 {
+		t.Fatalf("maporder findings = %d, want 2 (field map + local map): %v", got, fs)
+	}
+}
+
+// TestRepoIsClean is the live invariant: the repository itself must pass
+// every analyzer (this is what CI runs via tlbcheck -lint).
+func TestRepoIsClean(t *testing.T) {
+	fs, err := CheckTree("../../../...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		for _, f := range fs {
+			t.Error(f)
+		}
+	}
+}

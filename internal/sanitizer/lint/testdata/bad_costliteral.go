@@ -1,0 +1,12 @@
+// Fixture: machine-model code charging a hard-coded cycle count.
+package fixture
+
+type proc struct{}
+
+func (p *proc) Delay(cycles uint64) {}
+
+func handleIPI(p *proc, cost uint64) {
+	p.Delay(500) // should come from the cost model
+	p.Delay(cost)
+	p.Delay(2 * cost) // expressions over model costs are fine
+}

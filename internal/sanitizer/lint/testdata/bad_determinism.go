@@ -1,0 +1,12 @@
+// Fixture: non-test simulator code importing wall-clock and PRNG packages.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seedFromClock() int64 {
+	rand.Seed(1)
+	return time.Now().UnixNano()
+}

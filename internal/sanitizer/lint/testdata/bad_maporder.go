@@ -1,0 +1,27 @@
+// Fixture: charging simulated time inside randomized map iteration.
+package fixture
+
+type proc struct{}
+
+func (p *proc) Delay(cycles uint64) {}
+
+type flusher struct {
+	pending map[uint64]uint64
+}
+
+func (f *flusher) drain(p *proc) {
+	for va, cost := range f.pending {
+		p.Delay(cost) // order-dependent timing: nondeterministic
+		_ = va
+	}
+	local := make(map[int]int)
+	for k := range local {
+		p.Delay(uint64(k))
+	}
+	// Iterating without charging time is fine.
+	n := 0
+	for range f.pending {
+		n++
+	}
+	_ = n
+}

@@ -1,0 +1,537 @@
+// Package sanitizer is a shadow-oracle coherence checker for the simulated
+// TLB shootdown protocol — the correctness backbone behind the paper's
+// claim that flushes can be elided, deferred and overlapped without ever
+// letting a core translate through a stale entry (§5 of the paper
+// describes the debug mechanism Linux needed for exactly this).
+//
+// Attached to a kernel, the checker maintains a ground-truth shadow copy of
+// every tracked address space's page tables, fed by page-table mutation
+// observers. Each restrictive PTE change (unmap, frame change, permission
+// removal) opens a *flush obligation*: until the covering shootdown
+// completes, stale TLB hits on the changed page are legal — that is the
+// protocol's inherent (and bounded) staleness window. A TLB hit that
+// contradicts the shadow page table outside any open obligation is a
+// stale-translation violation, reported with the full event trace: who
+// changed the PTE, which shootdown should have covered it, and how the
+// window was closed.
+//
+// The checker also counts redundant flushes (invalidations that removed
+// nothing — the paper's headline waste), verifies every queued IPI request
+// is acknowledged, flags early acknowledgements on table-freeing flushes
+// (forbidden by §3.2), and runs a lockdep-style lock-order check over
+// mm/rwsem instances.
+//
+// All hooks are purely observational: they never advance simulated time,
+// so a checked run is cycle-identical to an unchecked one.
+package sanitizer
+
+import (
+	"fmt"
+	"sort"
+
+	"shootdown/internal/apic"
+	"shootdown/internal/core"
+	"shootdown/internal/kernel"
+	"shootdown/internal/mach"
+	"shootdown/internal/mm"
+	"shootdown/internal/pagetable"
+	"shootdown/internal/sim"
+	"shootdown/internal/smp"
+	"shootdown/internal/tlb"
+)
+
+// Config tunes the checker.
+type Config struct {
+	// AllowLazyWindow legalizes stale hits on CPUs that still have queued
+	// lazy flush work. It must be set when the protocol runs with
+	// core.Config.LazyRemote: the LATR-style extension is *designed* to
+	// leave the §2.3.2 staleness window open, and the experiments that use
+	// it measure exactly that window. Without this flag the checker
+	// (correctly) reports the lazy protocol as incoherent.
+	AllowLazyWindow bool
+	// MaxViolations caps recorded violations per checker (default 64);
+	// further violations are counted but dropped from the report.
+	MaxViolations int
+}
+
+// Violation is one detected protocol violation.
+type Violation struct {
+	// Kind classifies the violation: "stale-translation", "unacked-ipi",
+	// "early-ack-freed-tables", "lock-order", "leftover-ipi" or
+	// "shadow-divergence".
+	Kind string
+	// CPU is the CPU the violation was observed on (-1 if machine-wide).
+	CPU int
+	// At is the virtual time of detection.
+	At sim.Time
+	// Msg is the full multi-line report.
+	Msg string
+}
+
+// Stats aggregates checker observations over a run.
+type Stats struct {
+	PTEChanges         uint64
+	RestrictiveChanges uint64
+	ObligationsOpened  uint64
+	ClosedByShootdown  uint64
+	ClosedByUserReturn uint64
+	TLBHits            uint64
+	StaleLegalOpen     uint64
+	StaleLegalLazy     uint64
+	SelectiveFlushes   uint64
+	RedundantSelective uint64
+	FullFlushes        uint64
+	RedundantFull      uint64
+	IPIRequests        uint64
+	Shootdowns         uint64
+}
+
+// Add accumulates another run's counters into s.
+func (s *Stats) Add(o Stats) {
+	s.PTEChanges += o.PTEChanges
+	s.RestrictiveChanges += o.RestrictiveChanges
+	s.ObligationsOpened += o.ObligationsOpened
+	s.ClosedByShootdown += o.ClosedByShootdown
+	s.ClosedByUserReturn += o.ClosedByUserReturn
+	s.TLBHits += o.TLBHits
+	s.StaleLegalOpen += o.StaleLegalOpen
+	s.StaleLegalLazy += o.StaleLegalLazy
+	s.SelectiveFlushes += o.SelectiveFlushes
+	s.RedundantSelective += o.RedundantSelective
+	s.FullFlushes += o.FullFlushes
+	s.RedundantFull += o.RedundantFull
+	s.IPIRequests += o.IPIRequests
+	s.Shootdowns += o.Shootdowns
+}
+
+// obKey identifies a flush obligation: one leaf page of one address space.
+type obKey struct {
+	mm mm.ID
+	va uint64
+}
+
+// obligation is an open (or the most recently closed) flush window for a
+// restrictive PTE change.
+type obligation struct {
+	key      obKey
+	size     pagetable.Size
+	kind     string
+	old      pagetable.PTE
+	cpu      int // creator CPU, -1 if the change came from outside a CPU proc
+	at       sim.Time
+	merged   int // further restrictive changes folded into this window
+	closedAt sim.Time
+	closedBy string
+}
+
+type pcidRef struct {
+	sh   *shadow
+	user bool
+}
+
+type reqRec struct {
+	req  *smp.Request
+	from mach.CPU
+	at   sim.Time
+}
+
+type vioKey struct {
+	cpu int
+	mm  mm.ID
+	va  uint64
+}
+
+// Checker is one attached sanitizer instance (one simulated machine).
+type Checker struct {
+	K   *kernel.Kernel
+	F   *core.Flusher
+	Cfg Config
+
+	shadows map[mm.ID]*shadow
+	byPCID  map[tlb.PCID]pcidRef
+	open    map[obKey]*obligation
+	closed  map[obKey]*obligation
+	procCPU map[*sim.Proc]int
+	seen    map[vioKey]bool
+	reqs    []reqRec
+
+	locks *lockdep
+
+	violations []Violation
+	dropped    int
+	stats      Stats
+
+	result *Summary
+}
+
+// Attach installs the checker on a booted (or booting) kernel. f may be
+// nil when the flusher is not a *core.Flusher; shootdown-window tracking
+// then falls back to the return-to-user backstop alone. Attach chains any
+// hooks already installed (e.g. the trace recorder's ack hook).
+func Attach(k *kernel.Kernel, f *core.Flusher, cfg Config) *Checker {
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 64
+	}
+	c := &Checker{
+		K: k, F: f, Cfg: cfg,
+		shadows: make(map[mm.ID]*shadow),
+		byPCID:  make(map[tlb.PCID]pcidRef),
+		open:    make(map[obKey]*obligation),
+		closed:  make(map[obKey]*obligation),
+		procCPU: make(map[*sim.Proc]int),
+		seen:    make(map[vioKey]bool),
+	}
+	c.locks = newLockdep(c)
+
+	prevAS := k.ASHook
+	k.ASHook = func(as *mm.AddressSpace) {
+		if prevAS != nil {
+			prevAS(as)
+		}
+		c.trackAS(as)
+	}
+	prevUR := k.UserReturnHook
+	k.UserReturnHook = func(cpu *kernel.CPU) {
+		if prevUR != nil {
+			prevUR(cpu)
+		}
+		c.onUserReturn(cpu)
+	}
+	prevCall := k.SMP.CallHook
+	k.SMP.CallHook = func(from mach.CPU, req *smp.Request) {
+		if prevCall != nil {
+			prevCall(from, req)
+		}
+		c.onCall(from, req)
+	}
+	if f != nil {
+		f.SetProbe(&core.Probe{
+			ShootBegin: func(cpu mach.CPU, info *core.FlushInfo) { c.stats.Shootdowns++ },
+			ShootEnd:   c.onShootEnd,
+		})
+		if m := f.IPIMutex(); m != nil {
+			m.SetObserver(c.locks.observer())
+		}
+	}
+	for _, cpu := range k.CPUs() {
+		cpu := cpu
+		cpu.TLB.SetObserver(&tlb.Observer{
+			Hit: func(pcid tlb.PCID, va uint64, e tlb.Entry) { c.onHit(cpu, pcid, va, e) },
+			FlushPage: func(pcid tlb.PCID, va uint64, removed int) {
+				c.stats.SelectiveFlushes++
+				if removed == 0 {
+					c.stats.RedundantSelective++
+				}
+			},
+			FlushPCID: func(pcid tlb.PCID, removed int) {
+				c.stats.FullFlushes++
+				if removed == 0 {
+					c.stats.RedundantFull++
+				}
+			},
+			FlushAll: func(globals bool, removed int) {
+				c.stats.FullFlushes++
+				if removed == 0 {
+					c.stats.RedundantFull++
+				}
+			},
+		})
+	}
+	return c
+}
+
+// TrackAddressSpace registers an address space created before Attach (the
+// kernel's ASHook covers every one created after).
+func (c *Checker) TrackAddressSpace(as *mm.AddressSpace) { c.trackAS(as) }
+
+// WatchSem adds a semaphore to the lock-order checker (address-space
+// mmap_sems and the flusher's IPI mutex are watched automatically).
+func (c *Checker) WatchSem(s *mm.RWSem) { s.SetObserver(c.locks.observer()) }
+
+func (c *Checker) trackAS(as *mm.AddressSpace) {
+	if _, ok := c.shadows[as.ID]; ok {
+		return
+	}
+	sh := newShadow(as)
+	c.shadows[as.ID] = sh
+	c.byPCID[as.KernelPCID] = pcidRef{sh, false}
+	c.byPCID[as.UserPCID] = pcidRef{sh, true}
+	as.PT.SetObserver(func(ch pagetable.Change) { c.onChange(sh, ch) })
+	as.MmapSem.SetObserver(c.locks.observer())
+}
+
+// currentCPU resolves the executing simulated process to its kernel CPU
+// (-1 when the mutation came from a non-CPU process or from the event
+// loop).
+func (c *Checker) currentCPU() int {
+	p := c.K.Eng.Current()
+	if p == nil {
+		return -1
+	}
+	if id, ok := c.procCPU[p]; ok {
+		return id
+	}
+	id := -1
+	for _, cpu := range c.K.CPUs() {
+		if cpu.Proc() == p {
+			id = int(cpu.ID)
+			break
+		}
+	}
+	c.procCPU[p] = id
+	return id
+}
+
+func (c *Checker) onChange(sh *shadow, ch pagetable.Change) {
+	c.stats.PTEChanges++
+	restrictive, kind := classify(ch)
+	sh.apply(ch)
+	if !restrictive {
+		return
+	}
+	c.stats.RestrictiveChanges++
+	key := obKey{sh.as.ID, ch.VA}
+	if ob, ok := c.open[key]; ok {
+		ob.merged++
+		return
+	}
+	c.stats.ObligationsOpened++
+	c.open[key] = &obligation{
+		key: key, size: ch.Size, kind: kind, old: ch.Old,
+		cpu: c.currentCPU(), at: c.K.Eng.Now(),
+	}
+}
+
+// classify decides whether a PTE change can leave a dangerous stale TLB
+// entry behind. Permission-adding changes (populate, CoW reuse, dirty and
+// accessed tracking, prot-none clearing) cannot: a TLB entry caching the
+// weaker old permissions merely causes a spurious fault.
+func classify(ch pagetable.Change) (restrictive bool, kind string) {
+	oldF, newF := ch.Old.Flags, ch.New.Flags
+	switch {
+	case !oldF.Has(pagetable.Present):
+		return false, ""
+	case !newF.Has(pagetable.Present):
+		return true, "unmap"
+	case ch.New.Frame != ch.Old.Frame:
+		return true, "remap"
+	case oldF.Has(pagetable.Write) && !newF.Has(pagetable.Write):
+		return true, "write-protect"
+	case !oldF.Has(pagetable.NX) && newF.Has(pagetable.NX):
+		return true, "nx-set"
+	case !oldF.Has(pagetable.ProtNone) && newF.Has(pagetable.ProtNone):
+		return true, "protnone-set"
+	}
+	return false, ""
+}
+
+func (c *Checker) onShootEnd(cpu mach.CPU, info *core.FlushInfo) {
+	closedBy := fmt.Sprintf("shootdown (initiator cpu%d, gen %d, range [%#x,%#x), full=%v)",
+		cpu, info.NewGen, info.Start, info.End, info.Full)
+	now := c.K.Eng.Now()
+	for key, ob := range c.open {
+		if key.mm != info.AS.ID {
+			continue
+		}
+		if !info.Full {
+			end := key.va + ob.size.Bytes()
+			if end <= info.Start || key.va >= info.End {
+				continue
+			}
+		}
+		ob.closedAt = now
+		ob.closedBy = closedBy
+		c.closed[key] = ob
+		delete(c.open, key)
+		c.stats.ClosedByShootdown++
+	}
+}
+
+// onUserReturn is the backstop that bounds every obligation: by the time
+// the CPU that made a restrictive change returns to user mode, its syscall
+// (or fault handler) must have completed the covering flush — FlushAfter
+// and CoWFixup run synchronously under mmap_sem. Closing the window here
+// is what gives the checker detection power against a broken protocol: if
+// the flush was elided, later stale hits land outside any window.
+func (c *Checker) onUserReturn(cpu *kernel.CPU) {
+	id := int(cpu.ID)
+	now := c.K.Eng.Now()
+	for key, ob := range c.open {
+		if ob.cpu != id {
+			continue
+		}
+		ob.closedAt = now
+		ob.closedBy = fmt.Sprintf("return-to-user (cpu%d, no covering shootdown observed)", id)
+		c.closed[key] = ob
+		delete(c.open, key)
+		c.stats.ClosedByUserReturn++
+	}
+}
+
+func (c *Checker) onCall(from mach.CPU, req *smp.Request) {
+	c.stats.IPIRequests++
+	if req.AckEarly {
+		if fi, ok := req.Payload.(*core.FlushInfo); ok && fi.FreedTables {
+			c.addViolation("early-ack-freed-tables", int(from),
+				fmt.Sprintf("early-ack-freed-tables: cpu%d queued an early-ack flush request to cpu%d although the flush frees page tables (mm %d, range [%#x,%#x)) — §3.2 forbids early acks here: a speculative walk on the not-yet-flushed target could touch freed memory",
+					from, req.Target(), fi.AS.ID, fi.Start, fi.End))
+		}
+	}
+	c.reqs = append(c.reqs, reqRec{req, from, c.K.Eng.Now()})
+	if len(c.reqs) > 8192 {
+		kept := c.reqs[:0]
+		for _, r := range c.reqs {
+			if !r.req.Done() {
+				kept = append(kept, r)
+			}
+		}
+		c.reqs = kept
+	}
+}
+
+func (c *Checker) onHit(cpu *kernel.CPU, pcid tlb.PCID, va uint64, e tlb.Entry) {
+	c.stats.TLBHits++
+	ref, ok := c.byPCID[pcid]
+	if !ok {
+		return
+	}
+	reason, shadowDesc := ref.sh.contradicts(va, e)
+	if reason == "" {
+		return
+	}
+	key4k := obKey{ref.sh.as.ID, va &^ (pagetable.PageSize4K - 1)}
+	key2m := obKey{ref.sh.as.ID, va &^ (pagetable.PageSize2M - 1)}
+	if _, ok := c.open[key4k]; ok {
+		c.stats.StaleLegalOpen++
+		return
+	}
+	if ob, ok := c.open[key2m]; ok && ob.size == pagetable.Size2M {
+		c.stats.StaleLegalOpen++
+		return
+	}
+	if c.Cfg.AllowLazyWindow && cpu.PendingLazyWork() > 0 {
+		c.stats.StaleLegalLazy++
+		return
+	}
+	vk := vioKey{int(cpu.ID), ref.sh.as.ID, key4k.va}
+	if c.seen[vk] {
+		return
+	}
+	c.seen[vk] = true
+
+	space := "kernel"
+	if ref.user {
+		space = "user"
+	}
+	msg := fmt.Sprintf("stale-translation: cpu%d hit mm%d va %#x via %s PCID %#x: %s\n",
+		cpu.ID, ref.sh.as.ID, va, space, pcid, reason)
+	msg += fmt.Sprintf("  tlb entry: va %#x frame %#x size %s flags %s\n",
+		e.VA, e.Frame, e.Size, e.Flags)
+	msg += fmt.Sprintf("  shadow pte: %s\n", shadowDesc)
+	if ob := c.lastObligation(key4k, key2m); ob != nil {
+		msg += fmt.Sprintf("  pte change: %s of %#x (%s, old frame %#x flags %s) by %s at t=%d\n",
+			ob.kind, ob.key.va, ob.size, ob.old.Frame, ob.old.Flags, cpuName(ob.cpu), ob.at)
+		msg += fmt.Sprintf("  flush window: closed at t=%d by %s", ob.closedAt, ob.closedBy)
+	} else {
+		msg += "  pte change: untracked (predates checker attachment?)"
+	}
+	msg += fmt.Sprintf("\n  active config: %s", c.configString())
+	c.addViolation("stale-translation", int(cpu.ID), msg)
+}
+
+func (c *Checker) lastObligation(keys ...obKey) *obligation {
+	for _, k := range keys {
+		if ob, ok := c.closed[k]; ok {
+			return ob
+		}
+	}
+	return nil
+}
+
+func cpuName(id int) string {
+	if id < 0 {
+		return "non-CPU context"
+	}
+	return fmt.Sprintf("cpu%d", id)
+}
+
+func (c *Checker) configString() string {
+	s := "flusher=?"
+	if c.F != nil {
+		s = c.F.Cfg.String()
+	}
+	if c.K.Cfg.PTI {
+		return s + " (safe mode)"
+	}
+	return s + " (unsafe mode)"
+}
+
+func (c *Checker) addViolation(kind string, cpu int, msg string) {
+	if len(c.violations) >= c.Cfg.MaxViolations {
+		c.dropped++
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		Kind: kind, CPU: cpu, At: c.K.Eng.Now(), Msg: msg,
+	})
+}
+
+// Finish runs the end-of-simulation checks (unacknowledged IPIs, leftover
+// shootdown interrupts, shadow/page-table cross-validation) and returns
+// the accumulated result. Call it after Engine.Run has quiesced; it is
+// idempotent.
+func (c *Checker) Finish() *Summary {
+	if c.result != nil {
+		return c.result
+	}
+	for _, r := range c.reqs {
+		if !r.req.Done() {
+			c.addViolation("unacked-ipi", int(r.req.Target()),
+				fmt.Sprintf("unacked-ipi: flush request queued by cpu%d for cpu%d at t=%d was never acknowledged (early-ack=%v)",
+					r.from, r.req.Target(), r.at, r.req.AckEarly))
+		}
+	}
+	for _, cpu := range c.K.CPUs() {
+		for i := 0; cpu.Ctrl.Pending() > 0 && i < 1024; i++ {
+			irq, ok := cpu.Ctrl.Take()
+			if !ok {
+				break
+			}
+			if irq.Vector == apic.VectorCallFunction {
+				c.addViolation("leftover-ipi", int(cpu.ID),
+					fmt.Sprintf("leftover-ipi: cpu%d ended the run with an undelivered shootdown IPI from cpu%d", cpu.ID, irq.From))
+			}
+		}
+	}
+	c.verifyShadows()
+	c.result = &Summary{
+		Worlds:     1,
+		Violations: c.violations,
+		Dropped:    c.dropped,
+		Stats:      c.stats,
+	}
+	return c.result
+}
+
+// verifyShadows cross-validates every shadow against its real page table —
+// a self-check that the observer hooks saw every mutation path.
+func (c *Checker) verifyShadows() {
+	ids := make([]int, 0, len(c.shadows))
+	for id := range c.shadows {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		sh := c.shadows[mm.ID(id)]
+		if diff := sh.diffAgainstPT(); diff != "" {
+			c.addViolation("shadow-divergence", -1,
+				fmt.Sprintf("shadow-divergence: mm%d shadow disagrees with its page table (missed mutation path?):\n%s", id, diff))
+		}
+	}
+}
+
+// Stats returns the counters accumulated so far.
+func (c *Checker) Stats() Stats { return c.stats }
+
+// OpenObligations returns the number of flush windows still open.
+func (c *Checker) OpenObligations() int { return len(c.open) }

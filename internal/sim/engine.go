@@ -71,6 +71,7 @@ type Engine struct {
 
 	liveProcs int
 	procErr   error
+	current   *Proc
 }
 
 // NewEngine returns an engine with the clock at zero and a deterministic
@@ -140,8 +141,17 @@ func (e *Engine) RunUntil(horizon Time) {
 	}
 }
 
+// Current returns the process that is executing right now, or nil when
+// control is inside the event loop itself (timer callbacks, hooks fired
+// from events). Observational tooling uses this to attribute actions —
+// lock acquisitions, PTE writes — to the simulated actor performing them.
+func (e *Engine) Current() *Proc { return e.current }
+
 // resume hands control to p and blocks until p yields back.
 func (e *Engine) resume(p *Proc) {
+	prev := e.current
+	e.current = p
 	p.wake <- struct{}{}
 	<-e.sched
+	e.current = prev
 }

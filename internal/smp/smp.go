@@ -104,6 +104,10 @@ type Layer struct {
 	// AckHook, when non-nil, observes every acknowledgement (used by the
 	// trace recorder).
 	AckHook func(target mach.CPU, early bool)
+	// CallHook, when non-nil, observes every request as it is queued in
+	// CallMany (used by the sanitizer to track IPI protocol obligations).
+	// It must be purely observational.
+	CallHook func(from mach.CPU, req *Request)
 }
 
 // New builds the SMP layer. consolidated selects the paper's cacheline
@@ -195,6 +199,9 @@ func (l *Layer) CallMany(p *sim.Proc, from mach.CPU, targets mach.CPUMask, fn Ha
 			doneCond: l.eng.NewCond(),
 		}
 		l.stats.Calls++
+		if l.CallHook != nil {
+			l.CallHook(from, req)
+		}
 		pc := l.percpu[t]
 		if l.hwMessage {
 			// §6 hardware model: the IPI carries fn+payload, so neither

@@ -95,7 +95,34 @@ type TLB struct {
 	fractured bool
 
 	stats Stats
+	obs   *Observer
 }
+
+// Observer receives notifications about TLB activity. Every callback fires
+// after the state change it describes has fully taken effect, so an
+// observer can never see a half-applied flush. Callbacks must be purely
+// observational: they must not mutate the TLB or advance simulated time,
+// or a checked run would diverge from an unchecked one. Nil fields are
+// skipped.
+type Observer struct {
+	// Hit fires on a successful Lookup with the probing PCID and the entry
+	// that satisfied it (possibly a global entry under GlobalTag).
+	Hit func(pcid PCID, va uint64, e Entry)
+	// Fill fires after an entry is inserted, with the tag it was stored
+	// under (GlobalTag for global entries).
+	Fill func(pcid PCID, e Entry)
+	// FlushPage fires after a single-address invalidation; removed counts
+	// the entries actually dropped (0 means the flush was redundant).
+	FlushPage func(pcid PCID, va uint64, removed int)
+	// FlushPCID fires after a full per-PCID invalidation.
+	FlushPCID func(pcid PCID, removed int)
+	// FlushAll fires after FlushAllNonGlobal (globals=false) or
+	// FlushEverything (globals=true), including fracture-rule escalations.
+	FlushAll func(globals bool, removed int)
+}
+
+// SetObserver installs (or, with nil, removes) the activity observer.
+func (t *TLB) SetObserver(o *Observer) { t.obs = o }
 
 type ringSlot struct {
 	key entryKey
@@ -134,25 +161,29 @@ func vpn2m(va uint64) uint64 { return va >> pagetable.PageShift2M }
 // entries match under any PCID, as on x86.
 func (t *TLB) Lookup(pcid PCID, va uint64) (Entry, bool) {
 	if e, ok := t.e2m[entryKey{pcid, vpn2m(va)}]; ok {
-		t.stats.Hits++
-		return *e, true
+		return t.hit(pcid, va, e), true
 	}
 	if e, ok := t.e4k[entryKey{pcid, vpn4k(va)}]; ok {
-		t.stats.Hits++
-		return *e, true
+		return t.hit(pcid, va, e), true
 	}
 	// Global entries are stored under their fill PCID but match any; scan
 	// the dedicated global space (PCID tag ^0) to keep lookups O(1).
 	if e, ok := t.e2m[entryKey{globalSpace, vpn2m(va)}]; ok {
-		t.stats.Hits++
-		return *e, true
+		return t.hit(pcid, va, e), true
 	}
 	if e, ok := t.e4k[entryKey{globalSpace, vpn4k(va)}]; ok {
-		t.stats.Hits++
-		return *e, true
+		return t.hit(pcid, va, e), true
 	}
 	t.stats.Misses++
 	return Entry{}, false
+}
+
+func (t *TLB) hit(pcid PCID, va uint64, e *Entry) Entry {
+	t.stats.Hits++
+	if t.obs != nil && t.obs.Hit != nil {
+		t.obs.Hit(pcid, va, *e)
+	}
+	return *e
 }
 
 // globalSpace is the internal PCID tag for global entries.
@@ -184,6 +215,9 @@ func (t *TLB) Fill(pcid PCID, e Entry) {
 		}
 		t.e4k[key] = &e
 		t.ring4k = append(t.ring4k, ringSlot{key, e.seq})
+	}
+	if t.obs != nil && t.obs.Fill != nil {
+		t.obs.Fill(pcid, e)
 	}
 }
 
@@ -224,24 +258,43 @@ func (t *TLB) FlushPage(pcid PCID, va uint64) {
 		return
 	}
 	t.stats.SelectiveFlushes++
-	delete(t.e4k, entryKey{pcid, vpn4k(va)})
-	delete(t.e2m, entryKey{pcid, vpn2m(va)})
-	delete(t.e4k, entryKey{globalSpace, vpn4k(va)})
-	delete(t.e2m, entryKey{globalSpace, vpn2m(va)})
+	removed := 0
+	for _, k := range [...]entryKey{
+		{pcid, vpn4k(va)}, {globalSpace, vpn4k(va)},
+	} {
+		if _, ok := t.e4k[k]; ok {
+			delete(t.e4k, k)
+			removed++
+		}
+	}
+	for _, k := range [...]entryKey{
+		{pcid, vpn2m(va)}, {globalSpace, vpn2m(va)},
+	} {
+		if _, ok := t.e2m[k]; ok {
+			delete(t.e2m, k)
+			removed++
+		}
+	}
+	if t.obs != nil && t.obs.FlushPage != nil {
+		t.obs.FlushPage(pcid, va, removed)
+	}
 }
 
 // FlushPCID removes all non-global entries tagged pcid (MOV-to-CR3 without
 // NOFLUSH for that PCID, or INVPCID single-context).
 func (t *TLB) FlushPCID(pcid PCID) {
 	t.stats.FullFlushes++
+	removed := 0
 	for k := range t.e4k {
 		if k.pcid == pcid {
 			delete(t.e4k, k)
+			removed++
 		}
 	}
 	for k := range t.e2m {
 		if k.pcid == pcid {
 			delete(t.e2m, k)
+			removed++
 		}
 	}
 	// A full flush of an address space also drops fractured entries of
@@ -250,32 +303,45 @@ func (t *TLB) FlushPCID(pcid PCID) {
 	if t.nonGlobalEmpty() {
 		t.fractured = false
 	}
+	if t.obs != nil && t.obs.FlushPCID != nil {
+		t.obs.FlushPCID(pcid, removed)
+	}
 }
 
 // FlushAllNonGlobal removes every non-global entry regardless of PCID
 // (INVPCID all-contexts-retaining-globals).
 func (t *TLB) FlushAllNonGlobal() {
 	t.stats.FullFlushes++
+	removed := 0
 	for k := range t.e4k {
 		if k.pcid != globalSpace {
 			delete(t.e4k, k)
+			removed++
 		}
 	}
 	for k := range t.e2m {
 		if k.pcid != globalSpace {
 			delete(t.e2m, k)
+			removed++
 		}
 	}
 	t.fractured = false
+	if t.obs != nil && t.obs.FlushAll != nil {
+		t.obs.FlushAll(false, removed)
+	}
 }
 
 // FlushEverything removes all entries including globals (INVPCID
 // all-contexts, or CR4.PGE toggle).
 func (t *TLB) FlushEverything() {
 	t.stats.FullFlushes++
+	removed := len(t.e4k) + len(t.e2m)
 	clear(t.e4k)
 	clear(t.e2m)
 	t.fractured = false
+	if t.obs != nil && t.obs.FlushAll != nil {
+		t.obs.FlushAll(true, removed)
+	}
 }
 
 func (t *TLB) nonGlobalEmpty() bool {

@@ -40,6 +40,20 @@ func (m Mode) String() string {
 	return "unsafe"
 }
 
+// bootHook, when non-nil, observes every World right after boot, before
+// any task is spawned. tlbcheck uses it to attach the coherence sanitizer
+// to every machine an experiment creates. Hooks must be observational:
+// they may install observers but not advance simulated time.
+var bootHook func(*World)
+
+// SetBootHook installs fn as the world boot hook and returns a restore
+// function reinstating the previous hook.
+func SetBootHook(fn func(*World)) (restore func()) {
+	prev := bootHook
+	bootHook = fn
+	return func() { bootHook = prev }
+}
+
 // NewWorld boots a machine with the given safety mode and protocol config.
 func NewWorld(mode Mode, cfg core.Config, seed uint64) *World {
 	eng := sim.NewEngine(seed)
@@ -53,5 +67,9 @@ func NewWorld(mode Mode, cfg core.Config, seed uint64) *World {
 	}
 	k.SetFlusher(f)
 	k.Start()
-	return &World{Eng: eng, K: k, F: f}
+	w := &World{Eng: eng, K: k, F: f}
+	if bootHook != nil {
+		bootHook(w)
+	}
+	return w
 }

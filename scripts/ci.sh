@@ -1,0 +1,35 @@
+#!/bin/sh
+# CI gate: build, tests, race detector, repo-invariant lint, and the
+# shadow-oracle coherence sanitizer over the seed experiment suite.
+# Fails on the first broken step. Mirrors `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> gofmt"
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "gofmt needed on:"
+    echo "$fmt_out"
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> tlbcheck -lint ./..."
+go run ./cmd/tlbcheck -lint ./...
+
+echo "==> tlbcheck (sanitized experiment suite)"
+go run ./cmd/tlbcheck -quick -v
+
+echo "CI: all gates passed"
