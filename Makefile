@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint sanitize fuzz check clean
+.PHONY: all build test race lint sanitize racemodel fuzz check clean
 
 all: build
 
@@ -27,12 +27,16 @@ lint:
 sanitize:
 	$(GO) run ./cmd/tlbcheck -quick -v
 
+## racemodel: run the suite under the happens-before race detector
+racemodel:
+	$(GO) run ./cmd/tlbcheck -race-model -quick -v
+
 ## fuzz: randomized coherence fuzzing with the sanitizer attached
 fuzz:
 	$(GO) run ./cmd/tlbfuzz -runs 50
 
-## check: everything CI runs (build, tests, race, lint, sanitizer)
-check: build test race lint sanitize
+## check: everything CI runs (build, tests, race, lint, sanitizer, HB model)
+check: build test race lint sanitize racemodel
 
 clean:
 	$(GO) clean ./...

@@ -8,16 +8,24 @@
 // on table-freeing flushes, and mm lock ordering must stay acyclic. It
 // exits non-zero on any violation.
 //
+// With -race-model it runs the suite with the happens-before race
+// detector attached instead (see internal/race): every access to shared
+// simulated kernel state must be ordered by a modeled synchronization
+// edge (locks, IPI send/ack, context switches), or it is reported as a
+// data race in the protocol model.
+//
 // With -lint it instead runs the repo-invariant static analyzers
 // (internal/sanitizer/lint): no wall-clock or global-PRNG use, no literal
 // cycle costs outside the cost model, no time charged inside map
-// iteration.
+// iteration, observational hooks stay pure, and race-instrumented shared
+// state is only touched through its accessors.
 //
 // Usage:
 //
 //	tlbcheck                     # sanitize the full experiment suite
 //	tlbcheck -quick              # CI-sized runs
 //	tlbcheck -run fig6,table3    # specific experiments
+//	tlbcheck -race-model         # happens-before race check of the suite
 //	tlbcheck -lint ./...         # static analyzers only
 package main
 
@@ -28,22 +36,27 @@ import (
 	"strings"
 
 	"shootdown/internal/experiments"
+	"shootdown/internal/race"
 	"shootdown/internal/sanitizer"
 	"shootdown/internal/sanitizer/lint"
 )
 
 func main() {
 	var (
-		doLint  = flag.Bool("lint", false, "run the static analyzers instead of the sanitized simulation")
-		quick   = flag.Bool("quick", false, "shrink experiment iteration counts (CI size)")
-		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		seed    = flag.Uint64("seed", 1, "deterministic simulation seed")
-		verbose = flag.Bool("v", false, "print per-experiment progress")
+		doLint    = flag.Bool("lint", false, "run the static analyzers instead of the sanitized simulation")
+		raceModel = flag.Bool("race-model", false, "run the happens-before race detector instead of the sanitizer")
+		quick     = flag.Bool("quick", false, "shrink experiment iteration counts (CI size)")
+		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed      = flag.Uint64("seed", 1, "deterministic simulation seed")
+		verbose   = flag.Bool("v", false, "print per-experiment progress")
 	)
 	flag.Parse()
 
 	if *doLint {
 		os.Exit(runLint(flag.Args()))
+	}
+	if *raceModel {
+		os.Exit(runRaceModel(*run, *quick, *seed, *verbose))
 	}
 	os.Exit(runSanitized(*run, *quick, *seed, *verbose))
 }
@@ -93,6 +106,35 @@ func runSanitized(run string, quick bool, seed uint64, verbose bool) int {
 		total.Violations = append(total.Violations, s.Violations...)
 		total.Dropped += s.Dropped
 		total.Stats.Add(s.Stats)
+	}
+	fmt.Print(total.Report())
+	if !total.OK() {
+		return 1
+	}
+	return 0
+}
+
+func runRaceModel(run string, quick bool, seed uint64, verbose bool) int {
+	names := experiments.Names()
+	if !strings.EqualFold(run, "all") {
+		names = strings.Split(run, ",")
+	}
+	opts := experiments.Options{Quick: quick, Seed: seed}
+	total := &race.Summary{}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if verbose {
+			fmt.Fprintf(os.Stderr, "race-checking %s...\n", name)
+		}
+		_, sum, err := experiments.RunRace(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlbcheck: %v\n", err)
+			return 2
+		}
+		if verbose && !sum.OK() {
+			fmt.Fprintf(os.Stderr, "  %s: %d race(s)\n", name, len(sum.Races))
+		}
+		total.Absorb(sum)
 	}
 	fmt.Print(total.Report())
 	if !total.OK() {

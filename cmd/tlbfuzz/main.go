@@ -21,6 +21,7 @@ import (
 	"shootdown/internal/mach"
 	"shootdown/internal/mm"
 	"shootdown/internal/pagetable"
+	"shootdown/internal/race"
 	"shootdown/internal/sanitizer"
 	"shootdown/internal/sim"
 	"shootdown/internal/syscalls"
@@ -85,6 +86,10 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool) []string {
 	kcfg.PTI = pti
 	kcfg.ConsolidatedCachelines = cfg.CachelineConsolidation
 	k := kernel.New(eng, mach.DefaultTopology(), mach.DefaultCosts(), kcfg)
+	// The happens-before checker validates the synchronization structure of
+	// every run alongside the shadow-oracle coherence check below.
+	rd := race.New(eng)
+	k.EnableRace(rd)
 	f, err := core.NewFlusher(k, cfg)
 	if err != nil {
 		return []string{err.Error()}
@@ -202,11 +207,18 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool) []string {
 			fail("sanitizer %s (cpu%d t=%d): %s", v.Kind, v.CPU, v.At, v.Msg)
 		}
 	}
+	rsum := rd.Finish()
+	if !rsum.OK() {
+		for _, rc := range rsum.Races {
+			fail("race on %s (t=%d): %s", rc.Var, rc.At, rc.Msg)
+		}
+	}
 	if verbose {
 		st := f.Stats()
 		cst := chk.Stats()
-		fmt.Printf("seed=%d cfg=%s pti=%v workers=%d: shootdowns=%d remote(sel=%d full=%d skip=%d) checked(hits=%d windows=%d) errs=%d\n",
-			seed, cfg, pti, nworkers, st.Shootdowns, st.RemoteSelective, st.RemoteFull, st.RemoteSkipped, cst.TLBHits, cst.ObligationsOpened, len(errs))
+		fmt.Printf("seed=%d cfg=%s pti=%v workers=%d: shootdowns=%d remote(sel=%d full=%d skip=%d) checked(hits=%d windows=%d) hb(acq=%d rel=%d races=%d) errs=%d\n",
+			seed, cfg, pti, nworkers, st.Shootdowns, st.RemoteSelective, st.RemoteFull, st.RemoteSkipped, cst.TLBHits, cst.ObligationsOpened,
+			rsum.Stats.Acquires, rsum.Stats.Releases, len(rsum.Races), len(errs))
 	}
 	return errs
 }

@@ -65,6 +65,14 @@ type Config struct {
 	// data travels through shared-memory cachelines (no CFD/CSQ/info
 	// transfers for the payload; the acknowledgement remains in memory).
 	HWMessageIPI bool
+	// BrokenEarlyAck disables the FreedTables early-ack suppression (§3.2),
+	// deliberately reintroducing the use-after-free window the paper's
+	// patch closes: a responder acknowledges before flushing even though
+	// the initiator is about to free page-table pages. UNSAFE by design —
+	// it exists so the happens-before race detector (internal/race) has a
+	// known-bad protocol variant to flag; tests assert it reports exactly
+	// one race.
+	BrokenEarlyAck bool
 }
 
 // Baseline returns the unmodified Linux protocol configuration.
@@ -110,6 +118,7 @@ func (c Config) String() string {
 	add(c.SerializedIPIs, "serialized")
 	add(c.LazyRemote, "lazy")
 	add(c.HWMessageIPI, "hwmsg")
+	add(c.BrokenEarlyAck, "BROKEN-earlyack")
 	if out == "" {
 		return "baseline"
 	}

@@ -110,7 +110,18 @@ func NewFlusher(k *kernel.Kernel, cfg Config) (*Flusher, error) {
 	if cfg.SerializedIPIs {
 		f.ipiMtx = mm.NewRWSem(k.Eng, "smp_ipi_mtx")
 	}
+	f.EnableRace()
 	return f, nil
+}
+
+// EnableRace (re)attaches the kernel's happens-before checker to the
+// protocol-owned synchronization objects (the SerializedIPIs mutex).
+// NewFlusher calls it; call it again if the detector is installed after
+// the flusher was built (e.g. from a boot hook).
+func (f *Flusher) EnableRace() {
+	if f.ipiMtx != nil {
+		f.ipiMtx.EnableRace(f.K.Race)
+	}
 }
 
 // Stats returns a snapshot of the protocol counters.
@@ -158,12 +169,19 @@ func (f *Flusher) FlushAfter(ctx *kernel.Ctx, as *mm.AddressSpace, fr mm.FlushRa
 
 	earlyAck := f.Cfg.EarlyAck && !info.FreedTables
 	if f.Cfg.EarlyAck && info.FreedTables {
-		f.stats.EarlyAckSuppressed++
+		if f.Cfg.BrokenEarlyAck {
+			// Deliberately unsafe variant: ack before flushing even though
+			// page tables are about to be freed (see Config.BrokenEarlyAck).
+			earlyAck = true
+		} else {
+			f.stats.EarlyAckSuppressed++
+		}
 	}
 
 	if targets.Empty() {
 		f.stats.LocalOnly++
 		f.localFlush(ctx, info, nil)
+		f.notePTFree(info)
 		f.shootEnd(c.ID, info)
 		return
 	}
@@ -185,6 +203,7 @@ func (f *Flusher) FlushAfter(ctx *kernel.Ctx, as *mm.AddressSpace, fr mm.FlushRa
 			})
 			f.stats.LazyDeferred++
 		}
+		f.notePTFree(info)
 		f.shootEnd(c.ID, info)
 		return
 	}
@@ -220,7 +239,29 @@ func (f *Flusher) FlushAfter(ctx *kernel.Ctx, as *mm.AddressSpace, fr mm.FlushRa
 		c.WaitRequests(p, reqs)
 	}
 	k.Trace.Record(c.ID, trace.ShootEnd, "all acks received")
+	f.notePTFree(info)
 	f.shootEnd(c.ID, info)
+}
+
+// notePTFree reports the initiator's reclamation of freed page-table pages
+// to the race detector. It models free_pgtables: the freed nodes are plain
+// (unsynchronized) memory, so every responder's speculative walk of them
+// (readPTFree) must happen-before this write — the exact ordering the §3.2
+// early-ack suppression exists to guarantee.
+func (f *Flusher) notePTFree(info *FlushInfo) {
+	if f.K.Race == nil || !info.FreedTables {
+		return
+	}
+	f.K.Race.WriteVar(fmt.Sprintf("mm%d.pt-nodes", info.AS.ID))
+}
+
+// readPTFree reports a responder's potential speculative walk of the
+// page-table pages a FreedTables flush is about to release.
+func (f *Flusher) readPTFree(info *FlushInfo) {
+	if f.K.Race == nil || !info.FreedTables {
+		return
+	}
+	f.K.Race.ReadVar(fmt.Sprintf("mm%d.pt-nodes", info.AS.ID))
 }
 
 // pickTargets reads the mm cpumask and per-CPU indications to build the
@@ -268,6 +309,9 @@ func (f *Flusher) remoteFlushFn(p *sim.Proc, cpu mach.CPU, payload any) {
 		f.K.Trace.Record(cpu, trace.RemoteFlush, "skipped: mm not loaded")
 		return
 	}
+	// Until the flush completes, this CPU's TLB may still walk the
+	// about-to-be-freed page-table pages.
+	f.readPTFree(info)
 	f.flushOnCPU(p, rc, info, false)
 	f.K.Trace.Record(cpu, trace.RemoteFlush, "mm %d through gen %d", info.AS.ID, info.NewGen)
 }

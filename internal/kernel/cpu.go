@@ -60,6 +60,10 @@ type CPU struct {
 	// and no initiator wait. See the extension notes in internal/core.
 	lazyWork []func(p *sim.Proc)
 
+	// Precomputed race-variable names for this CPU's shared state (used
+	// only when a detector is attached; see internal/race).
+	runqVar, lazyVar, genVar, lazyqVar, batchedVar, batchqVar string
+
 	// Measurement counters.
 
 	// Interrupted accumulates cycles spent handling IRQs while a task was
@@ -82,6 +86,12 @@ func newCPU(k *Kernel, id mach.CPU) *CPU {
 		localGen:    make(map[mm.ID]uint64),
 		batchedLine: k.Dir.NewLine(fmt.Sprintf("batched[%d]", id)),
 	}
+	c.runqVar = fmt.Sprintf("cpu%d.runq", id)
+	c.lazyVar = fmt.Sprintf("cpu%d.lazy", id)
+	c.genVar = fmt.Sprintf("cpu%d.tlbgen", id)
+	c.lazyqVar = fmt.Sprintf("cpu%d.lazyq", id)
+	c.batchedVar = fmt.Sprintf("cpu%d.batched", id)
+	c.batchqVar = fmt.Sprintf("cpu%d.batchq", id)
 	c.Ctrl.SetNotify(func() { c.wake.Broadcast() })
 	return c
 }
@@ -92,24 +102,46 @@ func (c *CPU) Proc() *sim.Proc { return c.proc }
 // CurrentMM returns the loaded address space (may be nil at boot).
 func (c *CPU) CurrentMM() *mm.AddressSpace { return c.curMM }
 
-// Lazy reports whether the CPU is idling in lazy-TLB mode.
-func (c *CPU) Lazy() bool { return c.lazy }
+// Lazy reports whether the CPU is idling in lazy-TLB mode. The lazy
+// indication models a per-CPU word read by initiators with an atomic
+// (READ_ONCE-style) load, so it carries a happens-before clock of its own.
+func (c *CPU) Lazy() bool {
+	c.K.Race.AtomicLoad(c.lazyVar)
+	return c.lazy
+}
+
+// setLazy flips the lazy-TLB indication (an atomic store in the model).
+func (c *CPU) setLazy(v bool) {
+	c.K.Race.AtomicStore(c.lazyVar)
+	c.lazy = v
+}
 
 // InUser reports whether the CPU is executing user-mode code.
 func (c *CPU) InUser() bool { return c.inUser }
 
-// LocalGen returns this CPU's TLB generation for as.
-func (c *CPU) LocalGen(as *mm.AddressSpace) uint64 { return c.localGen[as.ID] }
+// LocalGen returns this CPU's TLB generation for as. The per-CPU
+// generation table is plain (unsynchronized) state: only code running on
+// this CPU may touch it, and the race detector checks exactly that.
+func (c *CPU) LocalGen(as *mm.AddressSpace) uint64 {
+	c.K.Race.ReadVar(c.genVar)
+	return c.localGen[as.ID]
+}
 
 // SetLocalGen records that this CPU's TLB is synchronized with as up to
 // gen. The shootdown responder calls it after flushing.
-func (c *CPU) SetLocalGen(as *mm.AddressSpace, gen uint64) { c.localGen[as.ID] = gen }
+func (c *CPU) SetLocalGen(as *mm.AddressSpace, gen uint64) {
+	c.K.Race.WriteVar(c.genVar)
+	c.localGen[as.ID] = gen
+}
 
 // enterUser marks the transition to user mode. Every site that sets
 // inUser funnels through it so the kernel's UserReturnHook sees all
 // return-to-user transitions.
 func (c *CPU) enterUser() {
 	c.inUser = true
+	// Return-to-user is the §4.2 backstop event: advance the CPU's vector
+	// clock so later epochs are distinguishable from pre-return ones.
+	c.K.Race.ReturnToUser()
 	if c.K.UserReturnHook != nil {
 		c.K.UserReturnHook(c)
 	}
@@ -132,6 +164,14 @@ func (c *CPU) Spawn(t *Task) {
 	}
 	t.cpu = c
 	t.doneCond = c.K.Eng.NewCond()
+	if c.K.Race != nil {
+		// The enqueue publishes the spawner's clock: everything the spawner
+		// did before Spawn happens-before the task body, and (via the same
+		// sync object, re-released at completion) before Join returns.
+		t.hb = c.K.Race.NewSync("task:" + t.Name)
+		c.K.Race.Release(t.hb)
+	}
+	c.K.Race.AtomicRMW(c.runqVar)
 	c.runq = append(c.runq, t)
 	c.wake.Broadcast()
 }
@@ -144,12 +184,12 @@ func (c *CPU) loop(p *sim.Proc) {
 	for {
 		c.ServiceIRQs(p)
 		if len(c.runq) == 0 {
-			if !c.lazy && c.curMM != nil {
+			if !c.Lazy() && c.curMM != nil {
 				// Enter lazy-TLB mode: the idle loop keeps the old mm
 				// loaded; initiators skip us. The indication is written
 				// on the (layout-dependent) lazy line. The write yields,
 				// so loop back and recheck before sleeping.
-				c.lazy = true
+				c.setLazy(true)
 				p.Delay(c.K.Dir.Write(c.ID, c.K.SMP.LazyLine(c.ID)))
 				continue
 			}
@@ -162,8 +202,10 @@ func (c *CPU) loop(p *sim.Proc) {
 		}
 		t := c.runq[0]
 		c.runq = c.runq[1:]
-		if c.lazy {
-			c.lazy = false
+		c.K.Race.AtomicRMW(c.runqVar)
+		c.K.Race.Acquire(t.hb)
+		if c.Lazy() {
+			c.setLazy(false)
 			p.Delay(c.K.Dir.Write(c.ID, c.K.SMP.LazyLine(c.ID)))
 		}
 		c.switchMM(p, t.MM, true)
@@ -178,6 +220,7 @@ func (c *CPU) loop(p *sim.Proc) {
 		t.Fn(&Ctx{K: c.K, CPU: c, P: p, Task: t})
 		c.inUser = false
 		c.curTask = nil
+		c.K.Race.Release(t.hb)
 		t.done = true
 		t.doneCond.Broadcast()
 	}
@@ -211,7 +254,7 @@ func (c *CPU) switchMM(p *sim.Proc, as *mm.AddressSpace, wasIdle bool) {
 		as.SetActive(c.ID)
 		if c.K.Cfg.DisablePCID {
 			// The flush synchronized us with every generation.
-			c.localGen[as.ID] = as.Gen()
+			c.SetLocalGen(as, as.Gen())
 		}
 	}
 	if !same || wasIdle {
@@ -225,7 +268,7 @@ func (c *CPU) switchMM(p *sim.Proc, as *mm.AddressSpace, wasIdle bool) {
 func (c *CPU) CatchUpGen(p *sim.Proc, as *mm.AddressSpace) {
 	p.Delay(c.K.Dir.Read(c.ID, c.K.MMGenLine(as)))
 	gen := as.Gen()
-	if c.localGen[as.ID] >= gen {
+	if c.LocalGen(as) >= gen {
 		return
 	}
 	p.Delay(c.K.Cost.CR3WriteFlush)
@@ -234,7 +277,7 @@ func (c *CPU) CatchUpGen(p *sim.Proc, as *mm.AddressSpace) {
 		c.DeferUserFullFlush()
 	}
 	p.Delay(c.K.Dir.Write(c.ID, c.K.SMP.GenLine(c.ID)))
-	c.localGen[as.ID] = gen
+	c.SetLocalGen(as, gen)
 }
 
 // --- Interrupt servicing ---
@@ -244,16 +287,21 @@ func (c *CPU) CatchUpGen(p *sim.Proc, as *mm.AddressSpace) {
 // about user accesses in between — that is exactly the hazard the paper
 // §2.3.2 describes, preserved here for the comparative experiments.
 func (c *CPU) QueueLazyWork(fn func(p *sim.Proc)) {
+	c.K.Race.AtomicRMW(c.lazyqVar)
 	c.lazyWork = append(c.lazyWork, fn)
 	c.wake.Broadcast()
 }
 
 // PendingLazyWork returns the number of queued lazy flushes.
-func (c *CPU) PendingLazyWork() int { return len(c.lazyWork) }
+func (c *CPU) PendingLazyWork() int {
+	c.K.Race.AtomicLoad(c.lazyqVar)
+	return len(c.lazyWork)
+}
 
 // DrainLazyWork runs queued lazy flushes; called at kernel-entry points.
 func (c *CPU) DrainLazyWork(p *sim.Proc) {
 	for len(c.lazyWork) > 0 {
+		c.K.Race.AtomicRMW(c.lazyqVar)
 		work := c.lazyWork
 		c.lazyWork = nil
 		for _, fn := range work {
@@ -265,7 +313,7 @@ func (c *CPU) DrainLazyWork(p *sim.Proc) {
 // ServiceIRQs drains all deliverable interrupts, charging entry/exit costs
 // and accounting interruption time against the running task.
 func (c *CPU) ServiceIRQs(p *sim.Proc) {
-	if len(c.lazyWork) > 0 && !c.inUser {
+	if c.PendingLazyWork() > 0 && !c.inUser {
 		// Kernel context reached: lazily deferred flushes run now.
 		c.DrainLazyWork(p)
 	}
@@ -358,6 +406,11 @@ func (c *CPU) WaitRequests(p *sim.Proc, reqs []*smp.Request) {
 	for i := len(cancels) - 1; i >= 0; i-- {
 		cancels[i]()
 	}
+	// Observing the acks is the initiator's acquire side of the IPI edge:
+	// everything each responder did before acking happens-before here.
+	for _, r := range reqs {
+		c.K.SMP.ObserveDone(r)
+	}
 	// The final ack invalidated our copy of the CFD line; re-read it.
 	p.Delay(c.K.Cost.SpinPoll)
 }
@@ -366,7 +419,11 @@ func (c *CPU) WaitRequests(p *sim.Proc, reqs []*smp.Request) {
 // servicing IPIs meanwhile (used by the §3.4 in-context/concurrent
 // interaction).
 func (c *CPU) WaitFirstRequest(p *sim.Proc, reqs []*smp.Request) {
-	if len(reqs) == 0 || smp.AnyDone(reqs) {
+	if len(reqs) == 0 {
+		return
+	}
+	if smp.AnyDone(reqs) {
+		c.observeDone(reqs)
 		return
 	}
 	cancels := make([]func(), 0, len(reqs))
@@ -387,6 +444,17 @@ func (c *CPU) WaitFirstRequest(p *sim.Proc, reqs []*smp.Request) {
 	}
 	for i := len(cancels) - 1; i >= 0; i-- {
 		cancels[i]()
+	}
+	c.observeDone(reqs)
+}
+
+// observeDone establishes the acquire edge for every already-acknowledged
+// request (see smp.Layer.ObserveDone).
+func (c *CPU) observeDone(reqs []*smp.Request) {
+	for _, r := range reqs {
+		if r.Done() {
+			c.K.SMP.ObserveDone(r)
+		}
 	}
 }
 

@@ -143,13 +143,18 @@ func (c *CPU) runDeferredUserFlushes(p *sim.Proc) {
 func (c *CPU) BatchedLine() *cache.Line { return c.batchedLine }
 
 // InBatchedSyscall reports whether the CPU is inside a batched-mode
-// syscall, during which it is guaranteed not to touch user mappings.
-func (c *CPU) InBatchedSyscall() bool { return c.batched }
+// syscall, during which it is guaranteed not to touch user mappings. The
+// indication word is read by initiators with an atomic load in the model.
+func (c *CPU) InBatchedSyscall() bool {
+	c.K.Race.AtomicLoad(c.batchedVar)
+	return c.batched
+}
 
 // EnterBatchedSection marks the CPU as inside a batched-mode syscall.
 // Initiators may then skip IPIs to it, queueing deferred flush work
 // instead.
 func (c *CPU) EnterBatchedSection(p *sim.Proc) {
+	c.K.Race.AtomicStore(c.batchedVar)
 	c.batched = true
 	p.Delay(c.K.Dir.Write(c.ID, c.batchedLine))
 }
@@ -159,12 +164,14 @@ func (c *CPU) EnterBatchedSection(p *sim.Proc) {
 // the memory barrier piggy-backed on the mmap_sem release in the paper.
 func (c *CPU) ExitBatchedSection(p *sim.Proc) {
 	for len(c.pendingBatched) > 0 {
+		c.K.Race.AtomicRMW(c.batchqVar)
 		work := c.pendingBatched
 		c.pendingBatched = nil
 		for _, fn := range work {
 			fn(p)
 		}
 	}
+	c.K.Race.AtomicStore(c.batchedVar)
 	c.batched = false
 	p.Delay(c.K.Dir.Write(c.ID, c.batchedLine))
 }
@@ -173,5 +180,6 @@ func (c *CPU) ExitBatchedSection(p *sim.Proc) {
 // us while we were in a batched section. The closure runs on this CPU at
 // ExitBatchedSection, charging its own costs.
 func (c *CPU) QueueBatchedFlush(fn func(p *sim.Proc)) {
+	c.K.Race.AtomicRMW(c.batchqVar)
 	c.pendingBatched = append(c.pendingBatched, fn)
 }

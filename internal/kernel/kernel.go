@@ -19,6 +19,7 @@ import (
 	"shootdown/internal/mach"
 	"shootdown/internal/mm"
 	"shootdown/internal/pagetable"
+	"shootdown/internal/race"
 	"shootdown/internal/sim"
 	"shootdown/internal/smp"
 	"shootdown/internal/tlb"
@@ -104,6 +105,11 @@ type Kernel struct {
 
 	// Trace, when non-nil, records protocol events (see internal/trace).
 	Trace *trace.Recorder
+
+	// Race, when non-nil, is the attached happens-before checker (see
+	// internal/race). All hooks are observational: a race-checked run is
+	// cycle-identical to an unchecked one.
+	Race *race.Detector
 
 	// ASHook, when non-nil, observes every address space created through
 	// the kernel (NewAddressSpace and ForkAddressSpace, after the child's
@@ -193,6 +199,7 @@ func (k *Kernel) NewAddressSpace() *mm.AddressSpace {
 	k.nextMM++
 	sem := mm.NewRWSem(k.Eng, fmt.Sprintf("mmap_sem[%d]", k.nextMM))
 	as := mm.NewAddressSpace(k.nextMM, k.Alloc, sem)
+	as.EnableRace(k.Race)
 	if k.ASHook != nil {
 		k.ASHook(as)
 	}
@@ -211,10 +218,20 @@ func (k *Kernel) ForkAddressSpace(parent *mm.AddressSpace) (*mm.AddressSpace, mm
 	k.nextMM++
 	sem := mm.NewRWSem(k.Eng, fmt.Sprintf("mmap_sem[%d]", k.nextMM))
 	child, fr, st := parent.Fork(k.nextMM, sem)
+	child.EnableRace(k.Race)
 	if k.ASHook != nil {
 		k.ASHook(child)
 	}
 	return child, fr, st
+}
+
+// EnableRace attaches the happens-before checker to the machine: the SMP
+// layer reports IPI edges, and every address space created afterwards
+// reports generation, cpumask, semaphore and page-table accesses. Call
+// before creating address spaces (typically right after New).
+func (k *Kernel) EnableRace(d *race.Detector) {
+	k.Race = d
+	k.SMP.SetRaceDetector(d)
 }
 
 // EnableTrace attaches a protocol-event recorder (see internal/trace) and

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"shootdown/internal/mm"
+	"shootdown/internal/race"
 	"shootdown/internal/sim"
 	"shootdown/internal/trace"
 )
@@ -18,6 +19,9 @@ type Task struct {
 	cpu      *CPU
 	done     bool
 	doneCond *sim.Cond
+	// hb carries the spawn->body and body->join happens-before edges when
+	// a race detector is attached (see CPU.Spawn).
+	hb *race.Sync
 }
 
 // Done reports whether the task body returned.
@@ -27,6 +31,10 @@ func (t *Task) Done() bool { return t.done }
 func (t *Task) Join(p *sim.Proc) {
 	for !t.done {
 		t.doneCond.Wait(p)
+	}
+	if t.cpu != nil {
+		// Everything the task body did happens-before Join's return.
+		t.cpu.K.Race.Acquire(t.hb)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"shootdown/internal/mach"
 	"shootdown/internal/pagetable"
+	"shootdown/internal/race"
 	"shootdown/internal/tlb"
 )
 
@@ -48,10 +49,17 @@ type AddressSpace struct {
 	vmas  vmaSet
 
 	// tlbGen is mm->context.tlb_gen: bumped on every batch of PTE
-	// changes; per-CPU state catches up during flushes.
+	// changes; per-CPU state catches up during flushes. Linux accesses it
+	// atomically; the race model treats it as an atomic variable.
 	tlbGen uint64
-	// active is mm_cpumask: CPUs that may hold cached translations.
-	active mach.CPUMask
+	// activeMask is mm_cpumask: CPUs that may hold cached translations.
+	// Maintained with atomic bit operations in Linux; atomic here too.
+	activeMask mach.CPUMask
+
+	// rt, when non-nil, is the attached happens-before checker; genVar and
+	// maskVar are the precomputed variable names it tracks this mm under.
+	rt              *race.Detector
+	genVar, maskVar string
 
 	mmapCursor uint64
 	// lastRemoved holds the VMAs removed by an Unmap in progress, so frame
@@ -118,24 +126,52 @@ func NewAddressSpace(id ID, alloc *pagetable.FrameAlloc, sem *RWSem) *AddressSpa
 	}
 }
 
-// Gen returns the current TLB generation.
-func (as *AddressSpace) Gen() uint64 { return as.tlbGen }
+// EnableRace attaches the happens-before checker to this address space:
+// generation and cpumask accesses become modeled atomics, the mmap_sem
+// reports acquire/release edges, and the page table reports PTE accesses.
+func (as *AddressSpace) EnableRace(d *race.Detector) {
+	if d == nil {
+		return
+	}
+	as.rt = d
+	as.genVar = fmt.Sprintf("mm%d.tlb_gen", as.ID)
+	as.maskVar = fmt.Sprintf("mm%d.cpumask", as.ID)
+	as.MmapSem.EnableRace(d)
+	as.PT.EnableRace(d, fmt.Sprintf("mm%d", as.ID))
+}
+
+// Gen returns the current TLB generation (atomic_read of tlb_gen).
+func (as *AddressSpace) Gen() uint64 {
+	as.rt.AtomicLoad(as.genVar)
+	return as.tlbGen
+}
 
 // BumpGen increments and returns the TLB generation; every operation that
-// changes PTEs calls this exactly once before flushing.
+// changes PTEs calls this exactly once before flushing (inc_mm_tlb_gen,
+// an atomic increment).
 func (as *AddressSpace) BumpGen() uint64 {
+	as.rt.AtomicRMW(as.genVar)
 	as.tlbGen++
 	return as.tlbGen
 }
 
 // ActiveCPUs returns the mm_cpumask snapshot.
-func (as *AddressSpace) ActiveCPUs() mach.CPUMask { return as.active }
+func (as *AddressSpace) ActiveCPUs() mach.CPUMask {
+	as.rt.AtomicLoad(as.maskVar)
+	return as.activeMask
+}
 
 // SetActive marks cpu as possibly caching this address space.
-func (as *AddressSpace) SetActive(cpu mach.CPU) { as.active.Set(cpu) }
+func (as *AddressSpace) SetActive(cpu mach.CPU) {
+	as.rt.AtomicRMW(as.maskVar)
+	as.activeMask.Set(cpu)
+}
 
 // ClearActive removes cpu from the mask (on switch-away with a flush).
-func (as *AddressSpace) ClearActive(cpu mach.CPU) { as.active.Clear(cpu) }
+func (as *AddressSpace) ClearActive(cpu mach.CPU) {
+	as.rt.AtomicRMW(as.maskVar)
+	as.activeMask.Clear(cpu)
+}
 
 // VMAs returns the address-ordered VMA list.
 func (as *AddressSpace) VMAs() []*VMA { return as.vmas.all() }

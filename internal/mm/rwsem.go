@@ -1,6 +1,9 @@
 package mm
 
-import "shootdown/internal/sim"
+import (
+	"shootdown/internal/race"
+	"shootdown/internal/sim"
+)
 
 // RWSem is a reader-writer semaphore for simulated processes, modeling
 // mm->mmap_sem. Acquisition order is not strictly FIFO, but writers cannot
@@ -18,6 +21,10 @@ type RWSem struct {
 	Contended uint64
 
 	obs *SemObserver
+	// rt, when non-nil, receives acquire/release happens-before edges.
+	// Separate from obs so the lockdep observer and the race detector can
+	// coexist.
+	rt *race.Detector
 }
 
 // SemObserver receives lock-event notifications for deadlock/lock-order
@@ -32,13 +39,21 @@ type SemObserver struct {
 // SetObserver installs (or, with nil, removes) the lock-event observer.
 func (s *RWSem) SetObserver(o *SemObserver) { s.obs = o }
 
+// EnableRace attaches the happens-before checker: every acquisition joins
+// the clocks of past releases, every release publishes the holder's clock.
+// Read-side releases join (rather than overwrite) the semaphore's clock,
+// so concurrent readers all stay ordered before the next writer.
+func (s *RWSem) EnableRace(d *race.Detector) { s.rt = d }
+
 func (s *RWSem) acquired(write bool) {
+	s.rt.AcquireName("sem:" + s.name)
 	if s.obs != nil && s.obs.Acquired != nil {
 		s.obs.Acquired(s, write)
 	}
 }
 
 func (s *RWSem) released(write bool) {
+	s.rt.ReleaseName("sem:" + s.name)
 	if s.obs != nil && s.obs.Released != nil {
 		s.obs.Released(s, write)
 	}

@@ -14,6 +14,8 @@ package pagetable
 import (
 	"errors"
 	"fmt"
+
+	"shootdown/internal/race"
 )
 
 // Page sizes and radix geometry (x86-64: 48-bit VA, 512-entry tables).
@@ -154,6 +156,14 @@ type Table struct {
 	// leaves counts present leaf entries.
 	leaves int
 	obs    func(Change)
+
+	// rt, when non-nil, is the attached happens-before checker; pteVar is
+	// the variable name PTE accesses are tracked under. One variable
+	// covers the whole table: PTE reads/writes are individually atomic on
+	// x86 (ptep_get/set), so the coarse granularity cannot produce false
+	// positives — only coarser edges.
+	rt     *race.Detector
+	pteVar string
 }
 
 // Change describes one mutation of a leaf PTE. Old is the zero PTE when
@@ -173,11 +183,28 @@ type Change struct {
 // callback must not mutate the table.
 func (t *Table) SetObserver(fn func(Change)) { t.obs = fn }
 
+// EnableRace attaches the happens-before checker; prefix scopes the
+// table's variable name (typically the owning mm).
+func (t *Table) EnableRace(d *race.Detector, prefix string) {
+	if d == nil {
+		return
+	}
+	t.rt = d
+	t.pteVar = prefix + ".pte"
+}
+
 func (t *Table) notify(va uint64, size Size, old, new PTE) {
+	// Every leaf mutation funnels through here: report it as an atomic
+	// read-modify-write (native_set_pte and friends are atomic stores;
+	// the radix bookkeeping is protected by the callers' mmap_sem).
+	t.rt.AtomicRMW(t.pteVar)
 	if t.obs != nil {
 		t.obs(Change{VA: va &^ (size.Bytes() - 1), Size: size, Old: old, New: new})
 	}
 }
+
+// raceLoad reports a page-walk-style read of the table.
+func (t *Table) raceLoad() { t.rt.AtomicLoad(t.pteVar) }
 
 // New returns an empty page table.
 func New() *Table {
@@ -247,6 +274,7 @@ func (t *Table) Walk(va uint64) (Translation, error) {
 	if va >= MaxVA {
 		return Translation{}, fmt.Errorf("%w: %#x", ErrOutOfRange, va)
 	}
+	t.raceLoad()
 	n := t.root
 	steps := 1
 	for level := 3; level >= 0; level-- {
@@ -345,6 +373,7 @@ func (t *Table) Remap(va, frame uint64, flags Flags) error {
 
 // Lookup returns a copy of the leaf PTE covering va and its size.
 func (t *Table) Lookup(va uint64) (PTE, Size, error) {
+	t.raceLoad()
 	n, idx, size, err := t.leaf(va)
 	if err != nil {
 		return PTE{}, 0, err
@@ -416,6 +445,7 @@ func (t *Table) VisitRange(start, end uint64, fn func(Translation)) {
 	if end > MaxVA {
 		end = MaxVA
 	}
+	t.raceLoad()
 	t.visitRec(t.root, 3, 0, start, end, fn)
 }
 

@@ -1,0 +1,430 @@
+// Package race implements a FastTrack-style vector-clock happens-before
+// checker for the simulator's logical cores.
+//
+// The simulator executes on one OS thread, so Go's own race detector can
+// never see the concurrency bugs the *modeled* kernel might have: two
+// simulated CPUs touching a simulated shared structure are perfectly
+// ordered host-side even when no modeled synchronization edge orders them.
+// This package restores the missing oracle. Every modeled synchronization
+// edge — IPI send→receive, ack→observe, rwsem acquire/release, run-queue
+// and work-queue hand-offs, context switches, the return-to-user backstop —
+// is reported to the detector as a vector-clock join, and every access to a
+// race-instrumented shared structure (mm cpumask, mm generation,
+// page-table entries, flush batches, early-ack words, freed page-table
+// nodes) is checked against the clocks.
+//
+// Variables come in two flavours, mirroring the Linux code being modeled:
+//
+//   - atomic variables model fields Linux accesses with atomics or
+//     READ_ONCE/WRITE_ONCE (mm->context.tlb_gen, mm_cpumask, the lazy-TLB
+//     indication, csd queues, PTEs). They never race; instead each carries
+//     its own clock, and loads/stores act as acquire/release edges, exactly
+//     like the C11 semantics the kernel relies on.
+//   - plain variables model memory the protocol may only touch when some
+//     happens-before edge orders the accesses — the canonical example being
+//     freed page-table pages, which a responder's speculative page walker
+//     may read until its flush completes (§3.2). Unordered accesses to a
+//     plain variable are reported as data races.
+//
+// Every hook is observational: the detector never calls Delay or mutates
+// simulated state, so a checked run is cycle-identical to an unchecked one.
+// All methods are safe on a nil *Detector (they no-op), which keeps the
+// instrumentation sites branch-free.
+package race
+
+import (
+	"fmt"
+
+	"shootdown/internal/sim"
+)
+
+type threadID int32
+
+// vclock is a dense vector clock indexed by threadID.
+type vclock []uint64
+
+func (c vclock) get(t threadID) uint64 {
+	if int(t) < len(c) {
+		return c[t]
+	}
+	return 0
+}
+
+func (c *vclock) set(t threadID, v uint64) {
+	for int(t) >= len(*c) {
+		*c = append(*c, 0)
+	}
+	(*c)[t] = v
+}
+
+// join folds src into c element-wise (c = c ⊔ src).
+func (c *vclock) join(src vclock) {
+	for int(len(*c)) < len(src) {
+		*c = append(*c, 0)
+	}
+	for i, v := range src {
+		if v > (*c)[i] {
+			(*c)[i] = v
+		}
+	}
+}
+
+// epoch is a FastTrack scalar clock sample: "thread t at clock value c".
+type epoch struct {
+	t threadID
+	c uint64
+}
+
+// thread is one simulated actor: a CPU run loop, a daemon process, or the
+// engine itself (tid 0, for accesses made outside any proc, e.g. during
+// end-of-run verification).
+type thread struct {
+	id   threadID
+	name string
+	vc   vclock
+}
+
+// Sync is a synchronization object: it carries the clock released into it.
+// Named syncs (semaphores) live in the detector's registry; anonymous
+// syncs (per-IPI-request, per-task) are created with NewSync and live as
+// long as their owner.
+type Sync struct {
+	name string
+	l    vclock
+}
+
+// variable is one checked location. Atomic variables reuse the Sync clock
+// for acquire/release edges; plain variables carry FastTrack state: the
+// last write epoch plus a full read vector clock (the simulator's fan-out
+// reads — one responder per target CPU — make read-shared the common case,
+// so the read-epoch fast path is not worth its complexity here).
+type variable struct {
+	name   string
+	atomic bool
+	sync   Sync // atomic only
+
+	w     epoch // last write (c==0: never written)
+	wAt   sim.Time
+	wBy   string
+	r     vclock     // last read clock per thread
+	rAt   []sim.Time // parallel to r: time of that thread's last read
+	raced bool       // one report per variable
+}
+
+// Kind classifies a detected race by the order the conflicting accesses
+// were simulated in.
+const (
+	KindWriteRead  = "write-read"  // racy read after an unordered write
+	KindReadWrite  = "read-write"  // racy write after an unordered read
+	KindWriteWrite = "write-write" // racy write after an unordered write
+)
+
+// Race is one detected happens-before violation.
+type Race struct {
+	// Var names the shared location (e.g. "mm1.pt-nodes").
+	Var string
+	// Kind is one of the Kind* constants.
+	Kind string
+	// At is the simulated time of the second (detecting) access.
+	At sim.Time
+	// Msg is the full human-readable description.
+	Msg string
+}
+
+// Stats counts detector activity, for the report and for asserting that a
+// checked run actually exercised the instrumentation.
+type Stats struct {
+	// Threads is the number of distinct simulated actors seen.
+	Threads uint64
+	// Reads / Writes count plain-variable accesses.
+	Reads, Writes uint64
+	// AtomicLoads / AtomicStores / AtomicRMWs count atomic accesses.
+	AtomicLoads, AtomicStores, AtomicRMWs uint64
+	// Acquires / Releases count explicit sync-edge operations (IPI
+	// request hand-offs, ack observations, semaphore transfers).
+	Acquires, Releases uint64
+	// UserReturns counts return-to-user clock ticks.
+	UserReturns uint64
+	// SyncObjects / Vars size the registries.
+	SyncObjects, Vars uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Threads += o.Threads
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.AtomicLoads += o.AtomicLoads
+	s.AtomicStores += o.AtomicStores
+	s.AtomicRMWs += o.AtomicRMWs
+	s.Acquires += o.Acquires
+	s.Releases += o.Releases
+	s.UserReturns += o.UserReturns
+	s.SyncObjects += o.SyncObjects
+	s.Vars += o.Vars
+}
+
+// maxRaces caps recorded races per detector; one broken edge fires on
+// every shootdown, and the first few reports carry all the signal.
+const maxRaces = 64
+
+// Detector is the per-machine happens-before checker.
+type Detector struct {
+	eng *sim.Engine
+
+	byProc  map[*sim.Proc]*thread
+	order   []*thread // creation order, deterministic
+	names   map[string]int
+	syncs   map[string]*Sync
+	vars    map[string]*variable
+	races   []Race
+	dropped int
+
+	liveStats Stats
+}
+
+// New builds a detector for one simulated machine. Thread identities are
+// assigned lazily, in first-access order, which the deterministic engine
+// makes reproducible across runs.
+func New(eng *sim.Engine) *Detector {
+	return &Detector{
+		eng:    eng,
+		byProc: make(map[*sim.Proc]*thread),
+		names:  make(map[string]int),
+		syncs:  make(map[string]*Sync),
+		vars:   make(map[string]*variable),
+	}
+}
+
+func (d *Detector) cur() *thread {
+	p := d.eng.Current()
+	th, ok := d.byProc[p]
+	if !ok {
+		name := "engine"
+		if p != nil {
+			name = p.Name
+		}
+		if n := d.names[name]; n > 0 {
+			name = fmt.Sprintf("%s#%d", name, n+1)
+		}
+		d.names[name]++
+		th = &thread{id: threadID(len(d.byProc)), name: name}
+		th.vc.set(th.id, 1)
+		d.byProc[p] = th
+		d.order = append(d.order, th)
+	}
+	return th
+}
+
+func (d *Detector) now() sim.Time { return d.eng.Now() }
+
+// NewSync creates an anonymous synchronization object (per IPI request,
+// per task). The name is diagnostic only; collisions are fine.
+func (d *Detector) NewSync(name string) *Sync {
+	if d == nil {
+		return nil
+	}
+	return &Sync{name: name}
+}
+
+func (d *Detector) namedSync(name string) *Sync {
+	s, ok := d.syncs[name]
+	if !ok {
+		s = &Sync{name: name}
+		d.syncs[name] = s
+	}
+	return s
+}
+
+// Acquire joins s's released clock into the current thread (lock acquire,
+// message receive, ack observation).
+func (d *Detector) Acquire(s *Sync) {
+	if d == nil || s == nil {
+		return
+	}
+	th := d.cur()
+	th.vc.join(s.l)
+	// stats only after cur() so Threads is counted via Finish.
+	d.statsAcquire()
+}
+
+// Release publishes the current thread's clock into s and advances the
+// thread's own epoch (lock release, message send, acknowledgement).
+//
+// Release always *joins* into s instead of overwriting it: a read-side
+// semaphore release must not erase the clocks of concurrent readers, and
+// for the hand-off edges modeled here the conservative join never creates
+// a happens-before edge that the protocol does not imply.
+func (d *Detector) Release(s *Sync) {
+	if d == nil || s == nil {
+		return
+	}
+	th := d.cur()
+	s.l.join(th.vc)
+	th.vc.set(th.id, th.vc.get(th.id)+1)
+	d.statsRelease()
+}
+
+// AcquireName / ReleaseName operate on a registry sync (semaphores, whose
+// lifetime matches the machine).
+func (d *Detector) AcquireName(name string) {
+	if d == nil {
+		return
+	}
+	d.Acquire(d.namedSync(name))
+}
+
+// ReleaseName is the registry-keyed Release.
+func (d *Detector) ReleaseName(name string) {
+	if d == nil {
+		return
+	}
+	d.Release(d.namedSync(name))
+}
+
+func (d *Detector) varOf(name string, atomic bool) *variable {
+	v, ok := d.vars[name]
+	if !ok {
+		v = &variable{name: name, atomic: atomic}
+		v.sync.name = name
+		d.vars[name] = v
+	}
+	return v
+}
+
+// AtomicLoad models an atomic/READ_ONCE load of name with acquire
+// semantics: the loader joins the clock of past releasing stores.
+func (d *Detector) AtomicLoad(name string) {
+	if d == nil {
+		return
+	}
+	v := d.varOf(name, true)
+	th := d.cur()
+	th.vc.join(v.sync.l)
+	d.stats().AtomicLoads++
+}
+
+// AtomicStore models an atomic/WRITE_ONCE store with release semantics.
+func (d *Detector) AtomicStore(name string) {
+	if d == nil {
+		return
+	}
+	v := d.varOf(name, true)
+	th := d.cur()
+	v.sync.l.join(th.vc)
+	th.vc.set(th.id, th.vc.get(th.id)+1)
+	d.stats().AtomicStores++
+}
+
+// AtomicRMW models a read-modify-write (atomic_inc, llist_add/del_all,
+// cpumask set/clear): acquire then release on the variable's clock, which
+// is exactly the hand-off edge a lock-free queue provides.
+func (d *Detector) AtomicRMW(name string) {
+	if d == nil {
+		return
+	}
+	v := d.varOf(name, true)
+	th := d.cur()
+	th.vc.join(v.sync.l)
+	v.sync.l.join(th.vc)
+	th.vc.set(th.id, th.vc.get(th.id)+1)
+	d.stats().AtomicRMWs++
+}
+
+// ReadVar checks a plain-variable read against the last write.
+func (d *Detector) ReadVar(name string) {
+	if d == nil {
+		return
+	}
+	v := d.varOf(name, false)
+	th := d.cur()
+	d.stats().Reads++
+	if v.w.c > 0 && v.w.c > th.vc.get(v.w.t) {
+		d.report(v, th, KindWriteRead, fmt.Sprintf(
+			"read of %s by %s (t=%d) is concurrent with write by %s (t=%d)",
+			v.name, th.name, d.now(), v.wBy, v.wAt))
+	}
+	v.r.set(th.id, th.vc.get(th.id))
+	for int(th.id) >= len(v.rAt) {
+		v.rAt = append(v.rAt, 0)
+	}
+	v.rAt[th.id] = d.now()
+}
+
+// WriteVar checks a plain-variable write against the last write and every
+// unordered read, then installs the new write epoch.
+func (d *Detector) WriteVar(name string) {
+	if d == nil {
+		return
+	}
+	v := d.varOf(name, false)
+	th := d.cur()
+	d.stats().Writes++
+	if v.w.c > 0 && v.w.c > th.vc.get(v.w.t) {
+		d.report(v, th, KindWriteWrite, fmt.Sprintf(
+			"write of %s by %s (t=%d) is concurrent with write by %s (t=%d)",
+			v.name, th.name, d.now(), v.wBy, v.wAt))
+	}
+	for i, rc := range v.r {
+		if rc > 0 && rc > th.vc.get(threadID(i)) {
+			d.report(v, th, KindReadWrite, fmt.Sprintf(
+				"write of %s by %s (t=%d) is concurrent with read by %s (t=%d)",
+				v.name, th.name, d.now(), d.order[i].name, v.rAt[i]))
+			break
+		}
+	}
+	v.w = epoch{t: th.id, c: th.vc.get(th.id)}
+	v.wAt = d.now()
+	v.wBy = th.name
+	for i := range v.r {
+		v.r[i] = 0
+	}
+}
+
+// ReturnToUser records the return-to-user backstop as a clock tick: the
+// transition bounds every window the protocol promises to close before
+// user code runs again, so later accesses on this core are distinguishable
+// from pre-return ones.
+func (d *Detector) ReturnToUser() {
+	if d == nil {
+		return
+	}
+	th := d.cur()
+	th.vc.set(th.id, th.vc.get(th.id)+1)
+	d.stats().UserReturns++
+}
+
+func (d *Detector) stats() *Stats { return &d.liveStats }
+func (d *Detector) statsAcquire() { d.liveStats.Acquires++ }
+func (d *Detector) statsRelease() { d.liveStats.Releases++ }
+
+func (d *Detector) report(v *variable, th *thread, kind, msg string) {
+	if v.raced {
+		return
+	}
+	v.raced = true
+	if len(d.races) >= maxRaces {
+		d.dropped++
+		return
+	}
+	full := fmt.Sprintf("data race on %s (%s):\n%s\nno modeled synchronization edge orders the accesses", v.name, kind, msg)
+	d.races = append(d.races, Race{Var: v.name, Kind: kind, At: d.now(), Msg: full})
+}
+
+// Finish snapshots the detector into a Summary. Safe to call on nil (the
+// summary then covers zero worlds).
+func (d *Detector) Finish() *Summary {
+	if d == nil {
+		return &Summary{}
+	}
+	st := d.liveStats
+	st.Threads = uint64(len(d.order))
+	st.SyncObjects = uint64(len(d.syncs))
+	st.Vars = uint64(len(d.vars))
+	return &Summary{
+		Worlds:  1,
+		Races:   append([]Race(nil), d.races...),
+		Dropped: d.dropped,
+		Stats:   st,
+	}
+}

@@ -1,0 +1,191 @@
+package race
+
+import (
+	"strings"
+	"testing"
+
+	"shootdown/internal/sim"
+)
+
+func TestSyncEdgeOrdersAccesses(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	s := d.NewSync("hand-off")
+	eng.Go("a", func(p *sim.Proc) {
+		d.WriteVar("x")
+		d.Release(s)
+	})
+	eng.Go("b", func(p *sim.Proc) {
+		p.Delay(10)
+		d.Acquire(s)
+		d.ReadVar("x")
+		d.WriteVar("x")
+	})
+	eng.Run()
+	sum := d.Finish()
+	if !sum.OK() {
+		t.Fatalf("ordered accesses reported as racy: %+v", sum.Races)
+	}
+	if sum.Stats.Reads != 1 || sum.Stats.Writes != 2 {
+		t.Fatalf("stats miscounted: %+v", sum.Stats)
+	}
+	if sum.Stats.Threads != 2 {
+		t.Fatalf("want 2 threads, got %d", sum.Stats.Threads)
+	}
+}
+
+func TestNamedSemaphoreEdge(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	eng.Go("a", func(p *sim.Proc) {
+		d.AcquireName("sem:mmap")
+		d.WriteVar("pt")
+		d.ReleaseName("sem:mmap")
+	})
+	eng.Go("b", func(p *sim.Proc) {
+		p.Delay(10)
+		d.AcquireName("sem:mmap")
+		d.WriteVar("pt")
+		d.ReleaseName("sem:mmap")
+	})
+	eng.Run()
+	if sum := d.Finish(); !sum.OK() {
+		t.Fatalf("lock-ordered writes reported as racy: %+v", sum.Races)
+	}
+}
+
+func TestUnorderedWritesRace(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	eng.Go("a", func(p *sim.Proc) {
+		d.WriteVar("z")
+	})
+	eng.Go("b", func(p *sim.Proc) {
+		p.Delay(5)
+		d.WriteVar("z")
+		// The variable already raced: the duplicate must be deduplicated.
+		d.WriteVar("z")
+	})
+	eng.Run()
+	sum := d.Finish()
+	if len(sum.Races) != 1 {
+		t.Fatalf("want exactly 1 race, got %d: %+v", len(sum.Races), sum.Races)
+	}
+	r := sum.Races[0]
+	if r.Var != "z" || r.Kind != KindWriteWrite {
+		t.Fatalf("unexpected race: %+v", r)
+	}
+}
+
+func TestUnorderedReadWriteRace(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	eng.Go("a", func(p *sim.Proc) {
+		d.ReadVar("z")
+	})
+	eng.Go("b", func(p *sim.Proc) {
+		p.Delay(5)
+		d.WriteVar("z")
+	})
+	eng.Run()
+	sum := d.Finish()
+	if len(sum.Races) != 1 || sum.Races[0].Kind != KindReadWrite {
+		t.Fatalf("want one read-write race, got %+v", sum.Races)
+	}
+}
+
+func TestAtomicAccessesNeverRaceAndCarryEdges(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	eng.Go("a", func(p *sim.Proc) {
+		d.WriteVar("payload")
+		d.AtomicStore("flag") // release
+	})
+	eng.Go("b", func(p *sim.Proc) {
+		p.Delay(10)
+		d.AtomicLoad("flag") // acquire: payload write now ordered
+		d.ReadVar("payload")
+		d.AtomicRMW("queue")
+	})
+	eng.Run()
+	sum := d.Finish()
+	if !sum.OK() {
+		t.Fatalf("atomic-ordered accesses reported as racy: %+v", sum.Races)
+	}
+	st := sum.Stats
+	if st.AtomicLoads != 1 || st.AtomicStores != 1 || st.AtomicRMWs != 1 {
+		t.Fatalf("atomic stats miscounted: %+v", st)
+	}
+}
+
+func TestNilDetectorIsSafe(t *testing.T) {
+	var d *Detector
+	d.Acquire(nil)
+	d.Release(nil)
+	d.AcquireName("x")
+	d.ReleaseName("x")
+	d.AtomicLoad("x")
+	d.AtomicStore("x")
+	d.AtomicRMW("x")
+	d.ReadVar("x")
+	d.WriteVar("x")
+	d.ReturnToUser()
+	if s := d.NewSync("x"); s != nil {
+		t.Fatal("nil detector returned a sync object")
+	}
+	sum := d.Finish()
+	if !sum.OK() || sum.Worlds != 0 {
+		t.Fatalf("nil Finish: %+v", sum)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	eng.Go("a", func(p *sim.Proc) { d.WriteVar("z") })
+	eng.Go("b", func(p *sim.Proc) { p.Delay(5); d.WriteVar("z") })
+	eng.Run()
+	rep := Merge([]*Detector{d}).Report()
+	for _, want := range []string{
+		"1 simulation(s) race-checked",
+		"FAIL: 1 data race(s) (1 write-write)",
+		"data race on z",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+
+	eng2 := sim.NewEngine(1)
+	d2 := New(eng2)
+	eng2.Go("a", func(p *sim.Proc) { d2.WriteVar("z") })
+	eng2.Run()
+	if rep := Merge([]*Detector{d2}).Report(); !strings.Contains(rep, "PASS: no data races") {
+		t.Fatalf("clean report missing PASS:\n%s", rep)
+	}
+}
+
+func TestRaceCapDropsButCounts(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	eng.Go("a", func(p *sim.Proc) {
+		for i := 0; i < maxRaces+7; i++ {
+			d.WriteVar(varName(i))
+		}
+	})
+	eng.Go("b", func(p *sim.Proc) {
+		p.Delay(5)
+		for i := 0; i < maxRaces+7; i++ {
+			d.WriteVar(varName(i))
+		}
+	})
+	eng.Run()
+	sum := d.Finish()
+	if len(sum.Races) != maxRaces || sum.Dropped != 7 {
+		t.Fatalf("cap not enforced: %d races, %d dropped", len(sum.Races), sum.Dropped)
+	}
+}
+
+func varName(i int) string {
+	return "v" + string(rune('A'+i/26)) + string(rune('a'+i%26))
+}

@@ -1,0 +1,80 @@
+package race
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary is the final result of one or more race-checked runs.
+type Summary struct {
+	// Worlds is the number of checked simulations merged in.
+	Worlds int
+	// Races holds every recorded race, in detection order.
+	Races []Race
+	// Dropped counts races beyond the per-detector cap.
+	Dropped int
+	// Stats aggregates instrumentation counters.
+	Stats Stats
+}
+
+// OK reports whether the run was race-free.
+func (s *Summary) OK() bool { return len(s.Races) == 0 && s.Dropped == 0 }
+
+// Merge finalizes every detector and combines the results.
+func Merge(detectors []*Detector) *Summary {
+	sum := &Summary{}
+	for _, d := range detectors {
+		sum.Absorb(d.Finish())
+	}
+	return sum
+}
+
+// Absorb folds another summary into s.
+func (s *Summary) Absorb(o *Summary) {
+	s.Worlds += o.Worlds
+	s.Races = append(s.Races, o.Races...)
+	s.Dropped += o.Dropped
+	s.Stats.Add(o.Stats)
+}
+
+// Report renders the summary as a deterministic human-readable report.
+func (s *Summary) Report() string {
+	var b strings.Builder
+	st := s.Stats
+	fmt.Fprintf(&b, "tlbcheck: %d simulation(s) race-checked (%d logical threads)\n", s.Worlds, st.Threads)
+	fmt.Fprintf(&b, "  sync edges:        %d acquires, %d releases, %d return-to-user ticks\n",
+		st.Acquires, st.Releases, st.UserReturns)
+	fmt.Fprintf(&b, "  atomic accesses:   %d loads, %d stores, %d rmw (%d variables total)\n",
+		st.AtomicLoads, st.AtomicStores, st.AtomicRMWs, st.Vars)
+	fmt.Fprintf(&b, "  checked accesses:  %d reads, %d writes on plain shared state\n",
+		st.Reads, st.Writes)
+	if s.OK() {
+		b.WriteString("PASS: no data races\n")
+		return b.String()
+	}
+	counts := map[string]int{}
+	order := []string{}
+	for _, r := range s.Races {
+		if counts[r.Kind] == 0 {
+			order = append(order, r.Kind)
+		}
+		counts[r.Kind]++
+	}
+	fmt.Fprintf(&b, "FAIL: %d data race(s)", len(s.Races)+s.Dropped)
+	parts := make([]string, 0, len(order))
+	for _, k := range order {
+		parts = append(parts, fmt.Sprintf("%d %s", counts[k], k))
+	}
+	fmt.Fprintf(&b, " (%s)\n", strings.Join(parts, ", "))
+	for i, r := range s.Races {
+		fmt.Fprintf(&b, "\n[%d] t=%d %s\n", i+1, r.At, indent(r.Msg))
+	}
+	if s.Dropped > 0 {
+		fmt.Fprintf(&b, "\n(%d further race(s) dropped past the cap)\n", s.Dropped)
+	}
+	return b.String()
+}
+
+func indent(msg string) string {
+	return strings.ReplaceAll(msg, "\n", "\n    ")
+}

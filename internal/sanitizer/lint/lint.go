@@ -12,6 +12,15 @@
 //   - maporder: no map iteration that charges simulated time in its body —
 //     Go map order is random per process, so Delay inside a map range
 //     makes event interleaving (and therefore results) irreproducible.
+//
+// Two further analyzers guard the happens-before race model
+// (internal/race):
+//
+//   - observerpurity: hook/observer/probe function literals must not
+//     mutate the observed state or package-level variables, so checked
+//     runs stay cycle-identical to unchecked ones.
+//   - sharedaccess: fields instrumented for the race detector may only be
+//     touched through their reporting accessors.
 package lint
 
 import (
@@ -77,6 +86,8 @@ func CheckSource(rel string, src []byte) ([]Finding, error) {
 	}
 	var out []Finding
 	out = append(out, checkDeterminism(fset, rel, f)...)
+	out = append(out, checkObserverPurity(fset, rel, f)...)
+	out = append(out, checkSharedAccess(fset, rel, f)...)
 	if inCostScope(rel) {
 		out = append(out, checkCostLiteral(fset, rel, f)...)
 		out = append(out, checkMapOrder(fset, rel, f)...)

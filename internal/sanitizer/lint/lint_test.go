@@ -62,6 +62,26 @@ func TestMapOrderAnalyzerFires(t *testing.T) {
 	}
 }
 
+func TestObserverPurityAnalyzerFires(t *testing.T) {
+	fs := loadFixture(t, "bad_observerpurity.go", "internal/experiments/fixture.go")
+	if got := countBy(fs, "observerpurity"); got != 4 {
+		t.Fatalf("observerpurity findings = %d, want 4 (2 param writes, 1 global, 1 boot hook): %v", got, fs)
+	}
+}
+
+func TestSharedAccessAnalyzerFires(t *testing.T) {
+	// Outside every owner dir all five selector uses are flagged.
+	fs := loadFixture(t, "bad_sharedaccess.go", "internal/core/fixture.go")
+	if got := countBy(fs, "sharedaccess"); got != 4 {
+		t.Fatalf("sharedaccess findings = %d, want 4: %v", got, fs)
+	}
+	// Inside the owning package the accessor function is exempt.
+	fs = loadFixture(t, "bad_sharedaccess.go", "internal/kernel/fixture.go")
+	if got := countBy(fs, "sharedaccess"); got != 3 {
+		t.Fatalf("sharedaccess findings in owner dir = %d, want 3 (Lazy exempt): %v", got, fs)
+	}
+}
+
 // TestRepoIsClean is the live invariant: the repository itself must pass
 // every analyzer (this is what CI runs via tlbcheck -lint).
 func TestRepoIsClean(t *testing.T) {

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// sharedaccess keeps the race detector honest: a shared simulated
+// structure is only as well-checked as its accessor discipline. Every
+// field the happens-before model instruments (internal/race) must be
+// reached exclusively through the accessor functions that report the
+// access to the detector — a direct field access anywhere else is an
+// unchecked access the detector can never see.
+//
+// The check is purely name-based (the linter works from go/ast without
+// type information), which is why the instrumented fields carry names that
+// are unique across the repository (e.g. the SMP layer's ack word is
+// `acked`, not `done`).
+type sharedField struct {
+	// field is the struct field name, matched against selector expressions.
+	field string
+	// owner is the module-relative directory prefix of the owning package.
+	owner string
+	// allowed lists the accessor functions (within owner) that may touch
+	// the field directly; they are the detector's instrumentation points.
+	allowed []string
+}
+
+var sharedFields = []sharedField{
+	{field: "tlbGen", owner: "internal/mm/", allowed: []string{"Gen", "BumpGen"}},
+	{field: "activeMask", owner: "internal/mm/", allowed: []string{"ActiveCPUs", "SetActive", "ClearActive"}},
+	{field: "acked", owner: "internal/smp/", allowed: []string{"Done", "ack"}},
+	{field: "lazy", owner: "internal/kernel/", allowed: []string{"Lazy", "setLazy"}},
+	{field: "localGen", owner: "internal/kernel/", allowed: []string{"LocalGen", "SetLocalGen"}},
+	{field: "lazyWork", owner: "internal/kernel/", allowed: []string{"QueueLazyWork", "PendingLazyWork", "DrainLazyWork"}},
+	{field: "batched", owner: "internal/kernel/", allowed: []string{"InBatchedSyscall", "EnterBatchedSection", "ExitBatchedSection"}},
+	{field: "pendingBatched", owner: "internal/kernel/", allowed: []string{"ExitBatchedSection", "QueueBatchedFlush"}},
+}
+
+func sharedFieldByName(name string) *sharedField {
+	for i := range sharedFields {
+		if sharedFields[i].field == name {
+			return &sharedFields[i]
+		}
+	}
+	return nil
+}
+
+func (sf *sharedField) allows(fn string) bool {
+	for _, a := range sf.allowed {
+		if a == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSharedAccess flags selector expressions naming an instrumented
+// field outside its accessor set. Composite-literal keys (zero-value
+// construction like `tlbGen: 1` in a constructor) are not selector
+// expressions and stay legal.
+func checkSharedAccess(fset *token.FileSet, rel string, f *ast.File) []Finding {
+	rel = filepath.ToSlash(rel)
+	var out []Finding
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sf := sharedFieldByName(sel.Sel.Name)
+			if sf == nil {
+				return true
+			}
+			switch {
+			case !strings.HasPrefix(rel, sf.owner):
+				out = append(out, Finding{
+					File: rel, Line: fset.Position(sel.Pos()).Line,
+					Analyzer: "sharedaccess",
+					Msg: fmt.Sprintf("direct access to race-instrumented field %q outside %s; use the accessors (%s) so the happens-before checker sees it",
+						sf.field, strings.TrimSuffix(sf.owner, "/"), strings.Join(sf.allowed, ", ")),
+				})
+			case !sf.allows(fn):
+				out = append(out, Finding{
+					File: rel, Line: fset.Position(sel.Pos()).Line,
+					Analyzer: "sharedaccess",
+					Msg: fmt.Sprintf("direct access to race-instrumented field %q in %s; only the accessors (%s) may touch it",
+						sf.field, fn, strings.Join(sf.allowed, ", ")),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

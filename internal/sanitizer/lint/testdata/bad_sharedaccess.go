@@ -1,0 +1,25 @@
+// Fixture: direct access to race-instrumented shared fields.
+package fixture
+
+type cpuT struct {
+	lazy     bool
+	localGen map[int]uint64
+}
+
+type reqT struct {
+	acked bool
+}
+
+func peek(c *cpuT, r *reqT) bool {
+	if c.lazy { // BAD: peek is not an accessor of lazy
+		return r.acked // BAD: acked is owned by internal/smp
+	}
+	c.localGen[1] = 2 // BAD: localGen bypasses LocalGen/SetLocalGen
+	return false
+}
+
+// Lazy matches an accessor name: legal inside internal/kernel, flagged
+// anywhere else.
+func Lazy(c *cpuT) bool {
+	return c.lazy
+}

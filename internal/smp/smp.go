@@ -23,6 +23,7 @@ import (
 	"shootdown/internal/apic"
 	"shootdown/internal/cache"
 	"shootdown/internal/mach"
+	"shootdown/internal/race"
 	"shootdown/internal/sim"
 )
 
@@ -43,16 +44,24 @@ type Request struct {
 	target   mach.CPU
 	cfdLine  *cache.Line
 	infoLine *cache.Line // nil under the consolidated layout
-	done     bool
+	acked    bool
 	doneCond *sim.Cond
 	onDone   func()
+	// hb is the request's happens-before sync object (non-nil only when a
+	// race detector is attached): released at queue time and at ack time,
+	// acquired on IRQ receipt and when the initiator observes the ack.
+	hb *race.Sync
 }
 
 // Target returns the CPU this request is queued for.
 func (r *Request) Target() mach.CPU { return r.target }
 
-// Done reports whether the target has acknowledged.
-func (r *Request) Done() bool { return r.done }
+// Done reports whether the target has acknowledged. This is the racy-read
+// predicate spin loops poll; the happens-before edge is only established
+// when the observer calls Layer.ObserveDone, mirroring how the real
+// initiator's spin read gains ordering only from the CFD line's
+// acquire semantics on the final poll.
+func (r *Request) Done() bool { return r.acked }
 
 type perCPU struct {
 	// csqLine is the call-single-queue head cacheline.
@@ -101,6 +110,10 @@ type Layer struct {
 	cfd   [][]*cache.Line
 	stats Stats
 
+	// rt, when non-nil, receives happens-before events for every modeled
+	// synchronization edge in this layer (see internal/race).
+	rt *race.Detector
+
 	// AckHook, when non-nil, observes every acknowledgement (used by the
 	// trace recorder).
 	AckHook func(target mach.CPU, early bool)
@@ -138,6 +151,21 @@ func New(eng *sim.Engine, topo mach.Topology, cost *mach.CostModel, dir *cache.D
 
 // Consolidated reports which cacheline layout is active.
 func (l *Layer) Consolidated() bool { return l.consolidated }
+
+// SetRaceDetector attaches (or, with nil, detaches) the happens-before
+// checker. All reported events are observational; timing is unchanged.
+func (l *Layer) SetRaceDetector(d *race.Detector) { l.rt = d }
+
+// ObserveDone records that the caller has observed req's acknowledgement,
+// establishing the ack→observe happens-before edge. Wait loops call it
+// once per request after their final Done poll.
+func (l *Layer) ObserveDone(req *Request) {
+	if l.rt != nil {
+		l.rt.Acquire(req.hb)
+	}
+}
+
+func (l *Layer) csqVar(cpu mach.CPU) string { return fmt.Sprintf("csq[%d]", cpu) }
 
 // Stats returns a snapshot of the counters.
 func (l *Layer) Stats() Stats { return l.stats }
@@ -202,6 +230,12 @@ func (l *Layer) CallMany(p *sim.Proc, from mach.CPU, targets mach.CPUMask, fn Ha
 		if l.CallHook != nil {
 			l.CallHook(from, req)
 		}
+		if l.rt != nil {
+			// Send edge: everything the initiator did before queueing
+			// happens-before the responder's handler.
+			req.hb = l.rt.NewSync(fmt.Sprintf("ipi[%d->%d]", from, t))
+			l.rt.Release(req.hb)
+		}
 		pc := l.percpu[t]
 		if l.hwMessage {
 			// §6 hardware model: the IPI carries fn+payload, so neither
@@ -222,6 +256,9 @@ func (l *Layer) CallMany(p *sim.Proc, from mach.CPU, targets mach.CPUMask, fn Ha
 		// atomic: whether the list was empty is learned from its result,
 		// so the emptiness check happens after the RMW completes.
 		p.Delay(l.dir.Atomic(from, pc.csqLine))
+		if l.rt != nil {
+			l.rt.AtomicRMW(l.csqVar(t))
+		}
 		wasEmpty := len(pc.queue) == 0
 		pc.queue = append(pc.queue, req)
 		if wasEmpty {
@@ -240,12 +277,13 @@ func (l *Layer) CallMany(p *sim.Proc, from mach.CPU, targets mach.CPUMask, fn Ha
 // spin-wait reads of each CFD line.
 func (l *Layer) WaitAll(p *sim.Proc, from mach.CPU, reqs []*Request) {
 	for _, r := range reqs {
-		for !r.done {
+		for !r.Done() {
 			p.Delay(l.cost.SpinPoll)
 			r.doneCond.Wait(p)
 			// The ack invalidated our copy; the next poll re-reads it.
 			p.Delay(l.dir.Read(from, r.cfdLine))
 		}
+		l.ObserveDone(r)
 	}
 }
 
@@ -258,7 +296,8 @@ func (l *Layer) WaitFirst(p *sim.Proc, from mach.CPU, reqs []*Request) {
 		return
 	}
 	for _, r := range reqs {
-		if r.done {
+		if r.Done() {
+			l.ObserveDone(r)
 			return
 		}
 	}
@@ -277,6 +316,11 @@ func (l *Layer) WaitFirst(p *sim.Proc, from mach.CPU, reqs []*Request) {
 	ch.Wait(p)
 	for _, c := range cancel {
 		c()
+	}
+	for _, r := range reqs {
+		if r.Done() {
+			l.ObserveDone(r)
+		}
 	}
 	p.Delay(l.dir.Read(from, reqs[0].cfdLine))
 }
@@ -308,7 +352,7 @@ func (r *Request) AddDoneHook(fn func()) (cancel func()) {
 // AnyDone reports whether any request has been acknowledged.
 func AnyDone(reqs []*Request) bool {
 	for _, r := range reqs {
-		if r.done {
+		if r.Done() {
 			return true
 		}
 	}
@@ -318,7 +362,7 @@ func AnyDone(reqs []*Request) bool {
 // AllDone reports whether every request has been acknowledged.
 func AllDone(reqs []*Request) bool {
 	for _, r := range reqs {
-		if !r.done {
+		if !r.Done() {
 			return false
 		}
 	}
@@ -334,10 +378,18 @@ func (l *Layer) HandleIPI(p *sim.Proc, cpu mach.CPU) {
 	if !l.hwMessage {
 		// Pop the whole queue (llist_del_all on the head line).
 		p.Delay(l.dir.Atomic(cpu, pc.csqLine))
+		if l.rt != nil {
+			l.rt.AtomicRMW(l.csqVar(cpu))
+		}
 	}
 	queue := pc.queue
 	pc.queue = nil
 	for _, req := range queue {
+		if l.rt != nil {
+			// Receive edge: the handler sees everything that
+			// happened-before the initiator queued this request.
+			l.rt.Acquire(req.hb)
+		}
 		if !l.hwMessage {
 			// Read the CFD to learn fn + payload.
 			p.Delay(l.dir.Read(cpu, req.cfdLine))
@@ -363,7 +415,14 @@ func (l *Layer) PendingOn(cpu mach.CPU) int { return len(l.percpu[cpu].queue) }
 
 func (l *Layer) ack(p *sim.Proc, cpu mach.CPU, req *Request) {
 	p.Delay(l.dir.Write(cpu, req.cfdLine))
-	req.done = true
+	if l.rt != nil {
+		// Ack edge: everything the responder did before acknowledging
+		// happens-before the initiator's ObserveDone. Under early ack this
+		// release fires before the flush — which is exactly the ordering
+		// the detector then judges.
+		l.rt.Release(req.hb)
+	}
+	req.acked = true
 	if l.AckHook != nil {
 		l.AckHook(cpu, req.AckEarly)
 	}

@@ -32,4 +32,7 @@ go run ./cmd/tlbcheck -lint ./...
 echo "==> tlbcheck (sanitized experiment suite)"
 go run ./cmd/tlbcheck -quick -v
 
+echo "==> tlbcheck -race-model (happens-before race check)"
+go run ./cmd/tlbcheck -race-model -quick -v
+
 echo "CI: all gates passed"
