@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint sanitize racemodel fuzz check clean
+.PHONY: all build test race lint sanitize racemodel fuzz bench check clean
 
 all: build
 
@@ -34,6 +34,10 @@ racemodel:
 ## fuzz: randomized coherence fuzzing with the sanitizer attached
 fuzz:
 	$(GO) run ./cmd/tlbfuzz -runs 50
+
+## bench: parallel-harness wall-clock + event-loop allocs -> BENCH_parallel.json
+bench:
+	./scripts/bench.sh
 
 ## check: everything CI runs (build, tests, race, lint, sanitizer, HB model)
 check: build test race lint sanitize racemodel

@@ -39,6 +39,7 @@ import (
 	"shootdown/internal/race"
 	"shootdown/internal/sanitizer"
 	"shootdown/internal/sanitizer/lint"
+	"shootdown/internal/sched"
 )
 
 func main() {
@@ -49,8 +50,10 @@ func main() {
 		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 		seed      = flag.Uint64("seed", 1, "deterministic simulation seed")
 		verbose   = flag.Bool("v", false, "print per-experiment progress")
+		parallel  = flag.Int("parallel", 0, "experiment-cell worker count (0 = GOMAXPROCS); reports are identical at any setting")
 	)
 	flag.Parse()
+	sched.SetWorkers(*parallel)
 
 	if *doLint {
 		os.Exit(runLint(flag.Args()))

@@ -23,6 +23,7 @@ import (
 	"shootdown/internal/pagetable"
 	"shootdown/internal/race"
 	"shootdown/internal/sanitizer"
+	"shootdown/internal/sched"
 	"shootdown/internal/sim"
 	"shootdown/internal/syscalls"
 )
@@ -31,12 +32,14 @@ const pg = pagetable.PageSize4K
 
 func main() {
 	var (
-		runs    = flag.Int("runs", 50, "number of randomized runs")
-		seed    = flag.Uint64("seed", 0, "run a single seed instead of -runs random ones")
-		ops     = flag.Int("ops", 120, "operations per worker thread")
-		verbose = flag.Bool("v", false, "print per-run summaries")
+		runs     = flag.Int("runs", 50, "number of randomized runs")
+		seed     = flag.Uint64("seed", 0, "run a single seed instead of -runs random ones")
+		ops      = flag.Int("ops", 120, "operations per worker thread")
+		verbose  = flag.Bool("v", false, "print per-run summaries")
+		parallel = flag.Int("parallel", 0, "seeds fuzzed concurrently (0 = GOMAXPROCS); each seed is an isolated simulation")
 	)
 	flag.Parse()
+	sched.SetWorkers(*parallel)
 
 	seeds := make([]uint64, 0, *runs)
 	if *seed != 0 {
@@ -47,12 +50,26 @@ func main() {
 			seeds = append(seeds, r.Uint64()|1)
 		}
 	}
+	// Every seed is a self-contained simulation, so the sweep fans out
+	// across the pool; results print in seed order afterwards, identical
+	// to a serial sweep.
+	type result struct {
+		errs    []string
+		summary string
+	}
+	results := sched.Collect(len(seeds), func(i int) result {
+		errs, summary := fuzzOne(seeds[i], *ops, *verbose)
+		return result{errs, summary}
+	})
 	failures := 0
-	for _, s := range seeds {
-		if errs := fuzzOne(s, *ops, *verbose); len(errs) > 0 {
+	for i, res := range results {
+		if *verbose {
+			fmt.Print(res.summary)
+		}
+		if len(res.errs) > 0 {
 			failures++
-			fmt.Fprintf(os.Stderr, "FAIL seed=%d:\n", s)
-			for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d (repro: tlbfuzz -seed %d -ops %d -parallel 1):\n", seeds[i], seeds[i], *ops)
+			for _, e := range res.errs {
 				fmt.Fprintf(os.Stderr, "  %s\n", e)
 			}
 		}
@@ -76,12 +93,13 @@ func randomConfig(r *sim.Rand) core.Config {
 	}
 }
 
-func fuzzOne(seed uint64, opsPerThread int, verbose bool) []string {
+func fuzzOne(seed uint64, opsPerThread int, verbose bool) (errs []string, summary string) {
 	r := sim.NewRand(seed)
 	cfg := randomConfig(r)
 	pti := r.Uint64()&1 == 0
 
 	eng := sim.NewEngine(seed)
+	defer eng.Shutdown()
 	kcfg := kernel.DefaultConfig()
 	kcfg.PTI = pti
 	kcfg.ConsolidatedCachelines = cfg.CachelineConsolidation
@@ -92,7 +110,7 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool) []string {
 	k.EnableRace(rd)
 	f, err := core.NewFlusher(k, cfg)
 	if err != nil {
-		return []string{err.Error()}
+		return []string{err.Error()}, ""
 	}
 	// The shadow-oracle sanitizer checks every TLB hit against the page
 	// tables *during* the run — far stronger than the end-state snapshot
@@ -106,7 +124,6 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool) []string {
 	cpus := []mach.CPU{0, 1, 2, 3, 28, 30}
 	nworkers := 2 + int(r.Uint64n(uint64(len(cpus)-1)))
 
-	var errs []string
 	fail := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
 
 	ready := 0
@@ -216,9 +233,11 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool) []string {
 	if verbose {
 		st := f.Stats()
 		cst := chk.Stats()
-		fmt.Printf("seed=%d cfg=%s pti=%v workers=%d: shootdowns=%d remote(sel=%d full=%d skip=%d) checked(hits=%d windows=%d) hb(acq=%d rel=%d races=%d) errs=%d\n",
+		// Returned, not printed: the caller emits summaries in seed order
+		// so parallel sweeps read identically to serial ones.
+		summary = fmt.Sprintf("seed=%d cfg=%s pti=%v workers=%d: shootdowns=%d remote(sel=%d full=%d skip=%d) checked(hits=%d windows=%d) hb(acq=%d rel=%d races=%d) errs=%d\n",
 			seed, cfg, pti, nworkers, st.Shootdowns, st.RemoteSelective, st.RemoteFull, st.RemoteSkipped, cst.TLBHits, cst.ObligationsOpened,
 			rsum.Stats.Acquires, rsum.Stats.Releases, len(rsum.Races), len(errs))
 	}
-	return errs
+	return errs, summary
 }

@@ -16,17 +16,20 @@ import (
 	"strings"
 
 	"shootdown/internal/experiments"
+	"shootdown/internal/sched"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (fig5..fig11, table3, table4, ablation, or 'all')")
-		quick = flag.Bool("quick", false, "shrink iteration counts and sweeps for a fast run")
-		seed  = flag.Uint64("seed", 1, "deterministic simulation seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment id (fig5..fig11, table3, table4, ablation, or 'all')")
+		quick    = flag.Bool("quick", false, "shrink iteration counts and sweeps for a fast run")
+		seed     = flag.Uint64("seed", 1, "deterministic simulation seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list     = flag.Bool("list", false, "list available experiments")
+		parallel = flag.Int("parallel", 0, "experiment-cell worker count (0 = GOMAXPROCS); output is identical at any setting")
 	)
 	flag.Parse()
+	sched.SetWorkers(*parallel)
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -6,6 +6,7 @@ import (
 	"shootdown/internal/core"
 	"shootdown/internal/mach"
 	"shootdown/internal/report"
+	"shootdown/internal/sched"
 	"shootdown/internal/stats"
 	"shootdown/internal/workload"
 )
@@ -40,15 +41,15 @@ func ablationSingles(o Options) *report.Table {
 		{CachelineConsolidation: true},
 		{InContextFlush: true},
 	}
-	var base workload.MicroResult
-	for i, cc := range singles {
-		r := workload.RunMicro(workload.MicroConfig{
-			Mode: workload.Safe, Core: cc, Placement: mach.PlaceCrossSocket,
+	results := sched.Collect(len(singles), func(i int) workload.MicroResult {
+		return workload.RunMicro(workload.MicroConfig{
+			Mode: workload.Safe, Core: singles[i], Placement: mach.PlaceCrossSocket,
 			PTEs: 10, Iterations: iters, Warmup: 5, Runs: runs, Seed: o.seed(),
 		})
-		if i == 0 {
-			base = r
-		}
+	})
+	base := results[0]
+	for i, cc := range singles {
+		r := results[i]
 		tab.AddRow(cc.String(),
 			r.Initiator.String(), report.Pct(stats.Reduction(base.Initiator.Mean, r.Initiator.Mean)),
 			r.Responder.String(), report.Pct(stats.Reduction(base.Responder.Mean, r.Responder.Mean)))

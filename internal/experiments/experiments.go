@@ -14,6 +14,7 @@ import (
 	"shootdown/internal/mach"
 	"shootdown/internal/pagetable"
 	"shootdown/internal/report"
+	"shootdown/internal/sched"
 	"shootdown/internal/stats"
 	"shootdown/internal/workload"
 )
@@ -109,17 +110,24 @@ func microFigure(o Options, mode workload.Mode, ptes int, title string) []*repor
 	}
 	initTab, respTab := mk("initiator"), mk("responder")
 
+	// Every (config, placement) cell is an independent simulation; fan them
+	// all out and assemble rows from the index-ordered results, so the
+	// rendered table is byte-identical at any worker count.
+	placements := mach.Placements()
+	results := sched.Collect(len(configs)*len(placements), func(i int) workload.MicroResult {
+		cc, pl := configs[i/len(placements)], placements[i%len(placements)]
+		return workload.RunMicro(workload.MicroConfig{
+			Mode: mode, Core: cc, Placement: pl, PTEs: ptes,
+			Iterations: iters, Warmup: 5, Runs: runs, Seed: o.seed(),
+		})
+	})
 	type cell struct{ init, resp stats.Summary }
 	base := map[mach.Placement]cell{}
 	for ci, cc := range configs {
 		initRow := []any{cc.String()}
 		respRow := []any{cc.String()}
-		for _, pl := range mach.Placements() {
-			cfg := workload.MicroConfig{
-				Mode: mode, Core: cc, Placement: pl, PTEs: ptes,
-				Iterations: iters, Warmup: 5, Runs: runs, Seed: o.seed(),
-			}
-			r := workload.RunMicro(cfg)
+		for pi, pl := range placements {
+			r := results[ci*len(placements)+pi]
 			if ci == 0 {
 				base[pl] = cell{r.Initiator, r.Responder}
 			}
@@ -177,18 +185,27 @@ func Table3(o Options) []*report.Table {
 		"1":  {"39% / 13%", "39% / 18%"},
 		"10": {"58% / 22%", "54% / 14%"},
 	}
-	for _, ptes := range []int{1, 10} {
+	// Flatten (PTE count × mode × baseline/all-techniques) into one fan-out:
+	// index i/4 picks the PTE row, (i/2)%2 the mode, i%2 base vs all.
+	ptesList := []int{1, 10}
+	modes := []workload.Mode{workload.Safe, workload.Unsafe}
+	results := sched.Collect(len(ptesList)*len(modes)*2, func(i int) workload.MicroResult {
+		mode := modes[(i/2)%len(modes)]
+		configs := core.CumulativeConfigs(mode == workload.Safe)
+		cc := configs[0]
+		if i%2 == 1 {
+			cc = configs[len(configs)-1]
+		}
+		return workload.RunMicro(workload.MicroConfig{
+			Mode: mode, Core: cc, Placement: mach.PlaceCrossSocket,
+			PTEs: ptesList[i/4], Iterations: iters, Warmup: 5, Runs: runs, Seed: o.seed(),
+		})
+	})
+	for pi, ptes := range ptesList {
 		row := []string{fmt.Sprint(ptes)}
-		for _, mode := range []workload.Mode{workload.Safe, workload.Unsafe} {
-			configs := core.CumulativeConfigs(mode == workload.Safe)
-			run := func(cc core.Config) workload.MicroResult {
-				return workload.RunMicro(workload.MicroConfig{
-					Mode: mode, Core: cc, Placement: mach.PlaceCrossSocket,
-					PTEs: ptes, Iterations: iters, Warmup: 5, Runs: runs, Seed: o.seed(),
-				})
-			}
-			base := run(configs[0])
-			all := run(configs[len(configs)-1])
+		for mi := range modes {
+			base := results[(pi*len(modes)+mi)*2]
+			all := results[(pi*len(modes)+mi)*2+1]
 			row = append(row, fmt.Sprintf("%s / %s",
 				report.Pct(stats.Reduction(base.Initiator.Mean, all.Initiator.Mean)),
 				report.Pct(stats.Reduction(base.Responder.Mean, all.Responder.Mean))))
@@ -213,21 +230,25 @@ func Fig9(o Options) []*report.Table {
 		Title:  "Figure 9 — CoW write-fault latency (cycles)",
 		Header: []string{"mode", "baseline", "all (§3)", "all+cow", "cow saving"},
 	}
-	for _, mode := range []workload.Mode{workload.Safe, workload.Unsafe} {
-		run := func(cc core.Config) stats.Summary {
-			return workload.RunCoW(workload.CoWConfig{
-				Mode: mode, Core: cc, Pages: pages, Runs: runs, Seed: o.seed(),
-			})
-		}
-		base := run(core.Baseline())
+	modes := []workload.Mode{workload.Safe, workload.Unsafe}
+	cfgsFor := func(mode workload.Mode) [3]core.Config {
 		allGeneral := core.AllGeneral()
 		if mode == workload.Unsafe {
 			allGeneral.InContextFlush = false
 		}
-		all := run(allGeneral)
 		withCow := allGeneral
 		withCow.AvoidCoWFlush = true
-		cow := run(withCow)
+		return [3]core.Config{core.Baseline(), allGeneral, withCow}
+	}
+	// Six independent cells (mode × {baseline, all, all+cow}); fan out.
+	results := sched.Collect(len(modes)*3, func(i int) stats.Summary {
+		mode := modes[i/3]
+		return workload.RunCoW(workload.CoWConfig{
+			Mode: mode, Core: cfgsFor(mode)[i%3], Pages: pages, Runs: runs, Seed: o.seed(),
+		})
+	})
+	for mi, mode := range modes {
+		base, all, cow := results[mi*3], results[mi*3+1], results[mi*3+2]
 		tab.AddRow(mode.String(), base.String(), all.String(), cow.String(),
 			fmt.Sprintf("%.0f cycles (%s)", all.Mean-cow.Mean, report.Pct(stats.Reduction(all.Mean, cow.Mean))))
 	}
@@ -254,15 +275,19 @@ func Fig10(o Options) []*report.Table {
 			Title:  fmt.Sprintf("Figure 10 — Sysbench random write speedup (%s mode)", mode),
 			Header: append([]string{"threads"}, configNames(configs)...),
 		}
-		for _, t := range threads {
+		// One job per (thread count, config) cell, reassembled row-major.
+		cells := sched.Collect(len(threads)*len(configs), func(i int) workload.SysbenchResult {
+			return runSysbenchAveraged(workload.SysbenchConfig{
+				Mode: mode, Core: configs[i%len(configs)], Threads: threads[i/len(configs)],
+				HotPages: 2048, WritesPerSync: 64, Syncs: syncs,
+				ComputePerWrite: 8000, Seed: o.seed(),
+			}, o)
+		})
+		for ti, t := range threads {
 			row := []string{fmt.Sprint(t)}
 			var baseMakespan uint64
-			for ci, cc := range configs {
-				r := runSysbenchAveraged(workload.SysbenchConfig{
-					Mode: mode, Core: cc, Threads: t,
-					HotPages: 2048, WritesPerSync: 64, Syncs: syncs,
-					ComputePerWrite: 8000, Seed: o.seed(),
-				}, o)
+			for ci := range configs {
+				r := cells[ti*len(configs)+ci]
 				if ci == 0 {
 					baseMakespan = r.Makespan
 					row = append(row, report.Cycles(float64(r.Makespan)))
@@ -311,15 +336,20 @@ func Fig11(o Options) []*report.Table {
 			Title:  fmt.Sprintf("Figure 11 — Apache throughput speedup (%s mode)", mode),
 			Header: append([]string{"cores", "baseline req/s"}, configNames(configs)[1:]...),
 		}
-		for _, c := range cores {
+		// One job per (core count, config) cell, reassembled row-major.
+		cells := sched.Collect(len(cores)*len(configs), func(i int) workload.ApacheResult {
+			return workload.RunApache(workload.ApacheConfig{
+				Mode: mode, Core: configs[i%len(configs)], Cores: cores[i/len(configs)],
+				RequestsPerCore: reqs,
+				FilePages:       3, ParseCycles: 52000, SendCycles: 40000,
+				OfferedInterArrival: 13333, Seed: o.seed(),
+			})
+		})
+		for coi, c := range cores {
 			row := []string{fmt.Sprint(c)}
 			var baseMakespan uint64
-			for ci, cc := range configs {
-				r := workload.RunApache(workload.ApacheConfig{
-					Mode: mode, Core: cc, Cores: c, RequestsPerCore: reqs,
-					FilePages: 3, ParseCycles: 52000, SendCycles: 40000,
-					OfferedInterArrival: 13333, Seed: o.seed(),
-				})
+			for ci := range configs {
+				r := cells[coi*len(configs)+ci]
 				if ci == 0 {
 					baseMakespan = r.Makespan
 					row = append(row, fmt.Sprintf("%.0f", r.RequestsPerSecond(2_000_000_000)))
@@ -361,18 +391,20 @@ func Table4(o Options) []*report.Table {
 		{false, pagetable.Size4K, 0},
 		{false, pagetable.Size2M, 0},
 	}
-	for _, c := range combos {
-		run := func(full bool) workload.FractureResult {
-			r, err := workload.RunFracture(workload.FractureConfig{
-				VM: c.vm, GuestSize: c.guest, HostSize: c.host,
-				BufferBytes: 4 << 20, Iterations: iters, FullFlush: full,
-			})
-			if err != nil {
-				panic(err)
-			}
-			return r
+	// Twelve independent cells: combo i/2, full flush on even indices.
+	results := sched.Collect(len(combos)*2, func(i int) workload.FractureResult {
+		c := combos[i/2]
+		r, err := workload.RunFracture(workload.FractureConfig{
+			VM: c.vm, GuestSize: c.guest, HostSize: c.host,
+			BufferBytes: 4 << 20, Iterations: iters, FullFlush: i%2 == 0,
+		})
+		if err != nil {
+			panic(err)
 		}
-		fr, sr := run(true), run(false)
+		return r
+	})
+	for i, c := range combos {
+		fr, sr := results[i*2], results[i*2+1]
 		setup := "VM"
 		host := c.host.String()
 		if !c.vm {
@@ -395,12 +427,16 @@ func runSysbenchAveraged(cfg workload.SysbenchConfig, o Options) workload.Sysben
 	if o.Quick {
 		seeds = 1
 	}
-	var total uint64
-	var ops int
-	for s := 0; s < seeds; s++ {
+	// Seeds fan out too; when nested under a cell-level Map this degrades
+	// to an inline loop once the pool's tokens are taken.
+	runs := sched.Collect(seeds, func(s int) workload.SysbenchResult {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(s)*7919
-		r := workload.RunSysbench(c)
+		return workload.RunSysbench(c)
+	})
+	var total uint64
+	var ops int
+	for _, r := range runs {
 		total += r.Makespan
 		ops = r.Ops
 	}

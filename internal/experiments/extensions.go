@@ -5,6 +5,7 @@ import (
 
 	"shootdown/internal/core"
 	"shootdown/internal/report"
+	"shootdown/internal/sched"
 	"shootdown/internal/stats"
 	"shootdown/internal/workload"
 )
@@ -32,15 +33,16 @@ func extSerialized(o Options) *report.Table {
 	if o.Quick {
 		iters = 8
 	}
-	for _, n := range []int{2, 4, 8} {
-		run := func(serialized bool) uint64 {
-			return workload.RunContention(workload.ContentionConfig{
-				Mode: workload.Safe, Core: core.Config{SerializedIPIs: serialized},
-				Initiators: n, Iterations: iters, Seed: o.seed(),
-			})
-		}
-		linux := run(false)
-		bsd := run(true)
+	inits := []int{2, 4, 8}
+	// Cell i: initiator count i/2, serialized on odd indices.
+	results := sched.Collect(len(inits)*2, func(i int) uint64 {
+		return workload.RunContention(workload.ContentionConfig{
+			Mode: workload.Safe, Core: core.Config{SerializedIPIs: i%2 == 1},
+			Initiators: inits[i/2], Iterations: iters, Seed: o.seed(),
+		})
+	})
+	for i, n := range inits {
+		linux, bsd := results[i*2], results[i*2+1]
 		tab.AddRow(n, report.Cycles(float64(linux)), report.Cycles(float64(bsd)),
 			report.Speedup(stats.Speedup(float64(bsd), float64(linux))))
 	}
@@ -53,8 +55,14 @@ func extLazy(o Options) *report.Table {
 		Title:  "Extension — LATR-style lazy shootdowns: faster initiator, broken semantics",
 		Header: []string{"protocol", "madvise cycles", "remote flushes deferred", "stale window observable"},
 	}
-	sync := workload.RunLazyProbe(workload.Safe, core.Baseline(), o.seed())
-	lazy := workload.RunLazyProbe(workload.Safe, core.Config{LazyRemote: true}, o.seed())
+	probes := sched.Collect(2, func(i int) workload.LazyProbeResult {
+		cfg := core.Baseline()
+		if i == 1 {
+			cfg = core.Config{LazyRemote: true}
+		}
+		return workload.RunLazyProbe(workload.Safe, cfg, o.seed())
+	})
+	sync, lazy := probes[0], probes[1]
 	tab.AddRow("synchronous (paper/Linux)", report.Cycles(float64(sync.MadviseCycles)), sync.Deferred, sync.StaleWindow)
 	tab.AddRow("lazy (LATR-style)", report.Cycles(float64(lazy.MadviseCycles)), lazy.Deferred, lazy.StaleWindow)
 	tab.AddNote("the lazy protocol lets a thread keep using an unmapped page's stale translation after the syscall returned (§2.3.2's correctness criticism)")
@@ -66,8 +74,10 @@ func extHWMessage(o Options) *report.Table {
 		Title:  "Extension — §6 'attach a message to the IPI' hardware model",
 		Header: []string{"shootdown data path", "initiator cycles", "cacheline transfers"},
 	}
-	sw := workload.RunHWMessageProbe(false, o.seed())
-	hw := workload.RunHWMessageProbe(true, o.seed())
+	probes := sched.Collect(2, func(i int) workload.HWMessageProbeResult {
+		return workload.RunHWMessageProbe(i == 1, o.seed())
+	})
+	sw, hw := probes[0], probes[1]
 	tab.AddRow("shared memory (CFD/CSQ/info)", report.Cycles(float64(sw.InitCycles)), sw.Transfers)
 	tab.AddRow("carried by the IPI", report.Cycles(float64(hw.InitCycles)), hw.Transfers)
 	tab.AddNote("the paper: 'if it were possible to attach a message with a TLB shootdown ... we would have been able to avoid sending additional data through shared memory'")
@@ -79,9 +89,12 @@ func extParavirt(o Options) *report.Table {
 		Title:  "Extension — §7 paravirtual page-fracturing hint",
 		Header: []string{"pages flushed", "no hint (cycles)", "with hint (cycles)", "speedup", "hinted full flushes"},
 	}
-	for _, pages := range []int{4, 8, 16, 32} {
-		no := workload.RunParavirtProbe(false, pages, o.seed())
-		yes := workload.RunParavirtProbe(true, pages, o.seed())
+	pageCounts := []int{4, 8, 16, 32}
+	results := sched.Collect(len(pageCounts)*2, func(i int) workload.ParavirtProbeResult {
+		return workload.RunParavirtProbe(i%2 == 1, pageCounts[i/2], o.seed())
+	})
+	for i, pages := range pageCounts {
+		no, yes := results[i*2], results[i*2+1]
 		tab.AddRow(pages, report.Cycles(float64(no.MadviseCycles)), report.Cycles(float64(yes.MadviseCycles)),
 			report.Speedup(stats.Speedup(float64(no.MadviseCycles), float64(yes.MadviseCycles))),
 			fmt.Sprint(yes.FullFlushes))
@@ -107,16 +120,22 @@ func Daemons(o Options) []*report.Table {
 		seeds = 1
 	}
 	var baseMakespan uint64
-	for i, cc := range []core.Config{core.Baseline(), core.AllGeneral(), core.All()} {
+	configs := []core.Config{core.Baseline(), core.AllGeneral(), core.All()}
+	// One job per (config, seed); config i/seeds so a config's seed runs
+	// stay adjacent and the per-config mean reduces over a contiguous span.
+	cells := sched.Collect(len(configs)*seeds, func(i int) workload.DaemonStormResult {
+		return workload.RunDaemonStorm(workload.DaemonStormConfig{
+			Mode: workload.Safe, Core: configs[i/seeds], AppThreads: 4, Rounds: rounds,
+			Seed: o.seed() + uint64(i%seeds)*7919,
+		})
+	})
+	for i, cc := range configs {
 		// Average the makespan over seeds to damp scheduling noise; the
 		// daemon counters are identical across seeds (same nominations).
 		var total uint64
 		var r workload.DaemonStormResult
 		for sdx := 0; sdx < seeds; sdx++ {
-			r = workload.RunDaemonStorm(workload.DaemonStormConfig{
-				Mode: workload.Safe, Core: cc, AppThreads: 4, Rounds: rounds,
-				Seed: o.seed() + uint64(sdx)*7919,
-			})
+			r = cells[i*seeds+sdx]
 			total += r.Makespan
 		}
 		mean := total / uint64(seeds)
@@ -145,8 +164,10 @@ func extPCID(o Options) *report.Table {
 	if o.Quick {
 		slices = 8
 	}
-	with := workload.RunPCIDProbe(false, slices, pages, o.seed())
-	without := workload.RunPCIDProbe(true, slices, pages, o.seed())
+	probes := sched.Collect(2, func(i int) workload.PCIDProbeResult {
+		return workload.RunPCIDProbe(i == 1, slices, pages, o.seed())
+	})
+	with, without := probes[0], probes[1]
 	tab.AddRow("no PCID (pre-Westmere)", report.Cycles(float64(without.Makespan)), without.TLBMisses, "1.000x")
 	tab.AddRow("PCID", report.Cycles(float64(with.Makespan)), with.TLBMisses,
 		report.Speedup(stats.Speedup(float64(without.Makespan), float64(with.Makespan))))

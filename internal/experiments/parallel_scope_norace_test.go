@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// parallelCheckScope returns the experiments and seeds the determinism
+// cross-check covers. Without the race detector the full registry runs
+// at three seeds — the same sweep `tlbsim -exp all -quick` performs.
+func parallelCheckScope() (names []string, seeds []uint64) {
+	return Names(), []uint64{1, 42, 7919}
+}

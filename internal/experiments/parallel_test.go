@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shootdown/internal/sched"
+)
+
+// renderSuite renders the named experiments exactly as `tlbsim -exp all
+// -quick -seed N` writes them to stdout, into one buffer.
+func renderSuite(names []string, seed uint64) []byte {
+	var buf bytes.Buffer
+	opts := Options{Quick: true, Seed: seed}
+	reg := Registry()
+	for _, name := range names {
+		for _, tab := range reg[name](opts) {
+			tab.Write(&buf)
+			fmt.Fprintln(&buf)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelOutputBitIdentical is the scheduler's acceptance contract:
+// the rendered experiment suite is byte-identical at one worker and at
+// eight, across several seeds. Scope comes from parallelCheckScope, which
+// shrinks under `go test -race` (the full suite ×2 worker counts ×seeds
+// is too slow at race-detector overhead; the reduced set still covers
+// every fan-out shape: cells, nested seed averaging, probes, daemons).
+func TestParallelOutputBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite comparison is slow; run without -short")
+	}
+	names, seeds := parallelCheckScope()
+	for _, seed := range seeds {
+		prev := sched.SetWorkers(1)
+		serial := renderSuite(names, seed)
+		sched.SetWorkers(8)
+		parallel := renderSuite(names, seed)
+		sched.SetWorkers(prev)
+		if !bytes.Equal(serial, parallel) {
+			sl := bytes.Split(serial, []byte("\n"))
+			pl := bytes.Split(parallel, []byte("\n"))
+			for i := 0; i < len(sl) && i < len(pl); i++ {
+				if !bytes.Equal(sl[i], pl[i]) {
+					t.Fatalf("seed %d: output diverges at line %d:\n  workers=1: %s\n  workers=8: %s",
+						seed, i+1, sl[i], pl[i])
+				}
+			}
+			t.Fatalf("seed %d: output lengths differ: %d vs %d bytes", seed, len(serial), len(parallel))
+		}
+	}
+}

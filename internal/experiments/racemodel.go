@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"shootdown/internal/race"
 	"shootdown/internal/report"
@@ -17,6 +18,10 @@ func RunRace(name string, o Options) ([]*report.Table, *race.Summary, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
+	// Worlds boot concurrently under the parallel scheduler; guard the
+	// shared slice. Merge sums order-independent counters, so the summary
+	// stays deterministic at any worker count.
+	var mu sync.Mutex
 	var detectors []*race.Detector
 	restore := workload.SetBootHook(func(w *workload.World) {
 		d := race.New(w.Eng)
@@ -24,7 +29,9 @@ func RunRace(name string, o Options) ([]*report.Table, *race.Summary, error) {
 		// The flusher was built before the hook ran; re-wire its own sync
 		// objects (the SerializedIPIs mutex) to the detector.
 		w.F.EnableRace()
+		mu.Lock()
 		detectors = append(detectors, d)
+		mu.Unlock()
 	})
 	defer restore()
 	tables := runner(o)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"shootdown/internal/report"
 	"shootdown/internal/sanitizer"
@@ -24,11 +25,18 @@ func Run(name string, o Options) ([]*report.Table, *sanitizer.Summary, error) {
 	if !o.Sanitize {
 		return runner(o), nil, nil
 	}
+	// Worlds boot concurrently under the parallel scheduler; the hook is
+	// the one cross-world touch point, so the slice needs a lock. Merge is
+	// an order-independent sum, so the summary stays deterministic.
+	var mu sync.Mutex
 	var checkers []*sanitizer.Checker
 	restore := workload.SetBootHook(func(w *workload.World) {
-		checkers = append(checkers, sanitizer.Attach(w.K, w.F, sanitizer.Config{
+		c := sanitizer.Attach(w.K, w.F, sanitizer.Config{
 			AllowLazyWindow: w.F.Cfg.LazyRemote,
-		}))
+		})
+		mu.Lock()
+		checkers = append(checkers, c)
+		mu.Unlock()
 	})
 	defer restore()
 	tables := runner(o)

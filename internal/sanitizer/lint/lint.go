@@ -21,6 +21,13 @@
 //     runs stay cycle-identical to unchecked ones.
 //   - sharedaccess: fields instrumented for the race detector may only be
 //     touched through their reporting accessors.
+//
+// One analyzer guards the parallel experiment scheduler (internal/sched):
+//
+//   - parallelsafety: simulated packages must not declare mutable
+//     package-level state — concurrently booted worlds would share it,
+//     breaking both determinism and `go test -race`. Error sentinels and
+//     explicitly "parallel-safe:"-annotated declarations are exempt.
 package lint
 
 import (
@@ -80,7 +87,8 @@ func inCostScope(rel string) bool {
 // the module-relative path, which decides analyzer scope.
 func CheckSource(rel string, src []byte) ([]Finding, error) {
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, rel, src, parser.SkipObjectResolution)
+	// ParseComments: parallelsafety reads "parallel-safe:" doc markers.
+	f, err := parser.ParseFile(fset, rel, src, parser.SkipObjectResolution|parser.ParseComments)
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +99,9 @@ func CheckSource(rel string, src []byte) ([]Finding, error) {
 	if inCostScope(rel) {
 		out = append(out, checkCostLiteral(fset, rel, f)...)
 		out = append(out, checkMapOrder(fset, rel, f)...)
+	}
+	if inParallelScope(rel) {
+		out = append(out, checkParallelSafety(fset, rel, f)...)
 	}
 	return out, nil
 }

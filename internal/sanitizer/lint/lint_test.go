@@ -82,6 +82,22 @@ func TestSharedAccessAnalyzerFires(t *testing.T) {
 	}
 }
 
+func TestParallelSafetyAnalyzerFires(t *testing.T) {
+	fs := loadFixture(t, "bad_parallelsafety.go", "internal/kernel/fixture.go")
+	if got := countBy(fs, "parallelsafety"); got != 4 {
+		t.Fatalf("parallelsafety findings = %d, want 4 (flushCount, lastWorld, bootSeq, tick): %v", got, fs)
+	}
+}
+
+func TestParallelSafetyScopedToSimulatedPackages(t *testing.T) {
+	// The harness (cmd tools, internal/sched, internal/experiments) may
+	// hold package-level state — only simulated packages are restricted.
+	fs := loadFixture(t, "bad_parallelsafety.go", "internal/sched/fixture.go")
+	if got := countBy(fs, "parallelsafety"); got != 0 {
+		t.Fatalf("parallelsafety fired outside scope: %v", fs)
+	}
+}
+
 // TestRepoIsClean is the live invariant: the repository itself must pass
 // every analyzer (this is what CI runs via tlbcheck -lint).
 func TestRepoIsClean(t *testing.T) {

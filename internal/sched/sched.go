@@ -1,0 +1,143 @@
+// Package sched is the deterministic fan-out scheduler behind every
+// experiment sweep in this repository.
+//
+// Each experiment cell (config × placement × run × thread-count) builds
+// its own sim.Engine and is perfectly independent — every cell derives its
+// own seed, so determinism is a per-job property, not a per-process one.
+// sched exploits that: jobs fan out across a bounded worker pool, results
+// are assembled strictly by submission index, and therefore the aggregate
+// output is byte-identical to a sequential run at ANY worker count. There
+// is no work stealing and no cross-job communication; the only shared
+// state is the atomic index counter that hands out the next job.
+//
+// Nesting is deadlock-free by construction: a worker is a token from a
+// fixed-capacity pool, helper goroutines acquire tokens with a
+// non-blocking try-acquire, and the submitting goroutine always executes
+// jobs itself. When the pool is exhausted — or was sized to one — a Map
+// degrades to a plain inline loop, which is also why -parallel 1 is
+// exactly the old sequential harness, not a simulation of it.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded set of worker tokens. The zero value is not usable;
+// call NewPool.
+type Pool struct {
+	// tokens holds workers-1 helper slots: the goroutine calling Map is
+	// always the pool's implicit extra worker, so capacity 0 (workers=1)
+	// means strictly inline execution.
+	tokens  chan struct{}
+	workers int
+}
+
+// NewPool returns a pool running at most workers jobs concurrently.
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{tokens: make(chan struct{}, workers-1), workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs job(0..n-1), at most p.Workers() at a time, and returns when
+// all completed. Jobs must be self-contained: any value they share must be
+// read-only for the duration of the call. Results are communicated by
+// writing to index-addressed storage captured by the closure, so assembly
+// order equals submission order regardless of execution order.
+//
+// If any job panics, Map re-panics with the panic of the lowest-indexed
+// failed job after every in-flight job finished — mirroring what a
+// sequential loop would have surfaced first.
+func (p *Pool) Map(n int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var next int64
+	var failed int64 = -1 // lowest failed index, under mu
+	var mu sync.Mutex
+	var panics map[int]any
+	run := func() bool {
+		i := int(atomic.AddInt64(&next, 1)) - 1
+		if i >= n {
+			return false
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if panics == nil {
+					panics = make(map[int]any)
+				}
+				panics[i] = r
+				if failed == -1 || int64(i) < failed {
+					failed = int64(i)
+				}
+				mu.Unlock()
+			}
+		}()
+		job(i)
+		return true
+	}
+	var wg sync.WaitGroup
+	// Spawn helpers while spare jobs and spare tokens exist. Try-acquire:
+	// when the pool is exhausted (including by an outer Map we are nested
+	// under), no helper spawns and the loop below runs everything inline.
+spawn:
+	for h := 0; h < n-1; h++ {
+		select {
+		case p.tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-p.tokens
+					wg.Done()
+				}()
+				for run() {
+				}
+			}()
+		default:
+			break spawn // no token free
+		}
+	}
+	for run() {
+	}
+	wg.Wait()
+	if failed >= 0 {
+		panic(panics[int(failed)])
+	}
+}
+
+// defaultPool is the process-wide pool the package-level helpers use. The
+// cmds size it from their -parallel flag before any experiment runs; it
+// must not be swapped while a Map is in flight.
+var defaultPool atomic.Pointer[Pool]
+
+func init() { defaultPool.Store(NewPool(0)) }
+
+// SetWorkers resizes the default pool (n <= 0 selects GOMAXPROCS) and
+// returns the previous size. Call it before fanning work out, never during.
+func SetWorkers(n int) (prev int) {
+	prev = defaultPool.Load().Workers()
+	defaultPool.Store(NewPool(n))
+	return prev
+}
+
+// Workers returns the default pool's concurrency bound.
+func Workers() int { return defaultPool.Load().Workers() }
+
+// Map fans job out over the default pool; see Pool.Map.
+func Map(n int, job func(i int)) { defaultPool.Load().Map(n, job) }
+
+// Collect runs job(0..n-1) on the default pool and returns the results in
+// submission order.
+func Collect[T any](n int, job func(i int) T) []T {
+	out := make([]T, n)
+	Map(n, func(i int) { out[i] = job(i) })
+	return out
+}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"shootdown/internal/sim"
+)
+
+// TestCollectOrder: results land at their submission index no matter how
+// execution interleaves.
+func TestCollectOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		out := make([]int, 100)
+		p.Map(100, func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts is the scheduler's core contract:
+// identical per-job seeds produce identical assembled results at any
+// worker count. Each job runs its own small simulation.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []uint64 {
+		p := NewPool(workers)
+		out := make([]uint64, 32)
+		p.Map(32, func(i int) {
+			e := sim.NewEngine(uint64(i + 1))
+			var acc uint64
+			e.Go("w", func(pr *sim.Proc) {
+				for j := 0; j < 50; j++ {
+					pr.Delay(e.Rand().Uint64n(100) + 1)
+					acc += uint64(pr.Now())
+				}
+			})
+			e.Run()
+			e.Shutdown()
+			out[i] = acc
+		})
+		return out
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 8} {
+		got := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d diverges at job %d: %d vs %d", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestConcurrencyBound: never more than Workers() jobs in flight.
+func TestConcurrencyBound(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var inFlight, peak int64
+	var mu sync.Mutex
+	p.Map(64, func(i int) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		mu.Lock()
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		// Busy-yield a little so overlaps actually happen.
+		for j := 0; j < 1000; j++ {
+			_ = j
+		}
+		atomic.AddInt64(&inFlight, -1)
+	})
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", peak, workers)
+	}
+}
+
+// TestNestedMapNoDeadlock: Maps nested three deep on a tiny pool must
+// complete (inner levels degrade to inline execution when tokens run out).
+func TestNestedMapNoDeadlock(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := NewPool(workers)
+		var total int64
+		p.Map(4, func(i int) {
+			p.Map(4, func(j int) {
+				p.Map(4, func(k int) {
+					atomic.AddInt64(&total, 1)
+				})
+			})
+		})
+		if total != 64 {
+			t.Fatalf("workers=%d: ran %d leaf jobs, want 64", workers, total)
+		}
+	}
+}
+
+// TestPanicPropagatesLowestIndex: the re-panic mirrors what a sequential
+// loop would have hit first, and arrives only after all jobs settled.
+func TestPanicPropagatesLowestIndex(t *testing.T) {
+	p := NewPool(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Map did not re-panic")
+		}
+		if s, ok := r.(string); !ok || s != "job-2" {
+			t.Fatalf("re-panicked %v, want job-2 (lowest failed index)", r)
+		}
+	}()
+	p.Map(16, func(i int) {
+		if i == 2 || i == 9 {
+			panic(fmt.Sprintf("job-%d", i))
+		}
+	})
+}
+
+// TestWorkersOneIsInline: with one worker no helper goroutine spawns, so
+// jobs run on the calling goroutine in strict submission order.
+func TestWorkersOneIsInline(t *testing.T) {
+	p := NewPool(1)
+	var order []int
+	p.Map(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order %v not sequential", order)
+		}
+	}
+}
+
+// TestSetWorkers: the default pool resizes and restores.
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	out := Collect(5, func(i int) int { return i + 1 })
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("Collect[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestEmptyAndSingle: degenerate sizes.
+func TestEmptyAndSingle(t *testing.T) {
+	p := NewPool(4)
+	p.Map(0, func(i int) { t.Fatal("job ran for n=0") })
+	ran := false
+	p.Map(1, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("single job did not run")
+	}
+}

@@ -38,7 +38,7 @@ func (c *Cond) WaitTimeout(p *Proc, d uint64) (signaled bool) {
 	w := &condWaiter{p: p}
 	w.timeoutEv = c.eng.After(d, func() {
 		c.remove(w)
-		c.eng.resume(p)
+		p.resumeFn()
 	})
 	c.waiters = append(c.waiters, w)
 	p.yield()
@@ -70,7 +70,7 @@ func (c *Cond) wake(w *condWaiter) {
 	if w.timeoutEv != nil {
 		w.timeoutEv.Cancel()
 	}
-	c.eng.After(0, func() { c.eng.resume(w.p) })
+	c.eng.After(0, w.p.resumeFn)
 }
 
 func (c *Cond) remove(w *condWaiter) {

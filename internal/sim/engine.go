@@ -12,10 +12,14 @@
 // The package is the foundation for every other simulated component in this
 // repository: cores, TLBs, APICs and kernel code are all expressed as
 // processes and events on a shared Engine.
+//
+// Engines are independent: two engines share no state, so separate
+// simulations may run on separate OS threads concurrently (see
+// internal/sched). A single Engine remains strictly single-threaded.
 package sim
 
 import (
-	"container/heap"
+	"errors"
 	"fmt"
 )
 
@@ -23,6 +27,11 @@ import (
 type Time uint64
 
 // Event is a scheduled callback. It can be cancelled before it fires.
+//
+// An Event handle is only valid until the event fires (or, if cancelled,
+// until the engine drains it from the queue): fired events are recycled
+// into the engine's free list, so retaining a handle past its firing and
+// calling Cancel on it later would act on an unrelated event.
 type Event struct {
 	at        Time
 	seq       uint64
@@ -30,31 +39,68 @@ type Event struct {
 	cancelled bool
 }
 
-// Cancel prevents the event from firing. Cancelling an event that already
-// fired (or was already cancelled) is a no-op.
+// Cancel prevents the event from firing. Cancelling an event that was
+// already cancelled is a no-op. Cancel must not be called after the event
+// fired: the handle is recycled at that point (see the Event doc).
 func (ev *Event) Cancel() { ev.cancelled = true }
 
 // Cancelled reports whether Cancel was called on the event.
 func (ev *Event) Cancelled() bool { return ev.cancelled }
 
+// eventHeap is a binary min-heap ordered by (at, seq). It is implemented
+// concretely — not via container/heap — so that pushes and pops stay free
+// of interface boxing: this is the hottest data structure in the
+// repository (every Delay of every simulated process passes through it).
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return
+
+// push appends ev and restores the heap property (sift-up).
+func (h *eventHeap) push(ev *Event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event (sift-down).
+func (h *eventHeap) pop() *Event {
+	s := *h
+	n := len(s) - 1
+	min := s[0]
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && s.less(r, l) {
+			child = r
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return min
 }
 
 // Engine is a deterministic discrete-event simulator.
@@ -62,6 +108,7 @@ func (h *eventHeap) Pop() (popped any) {
 // An Engine must be driven from a single goroutine via Run or RunUntil.
 // It is not safe for concurrent use; processes spawned with Go interleave
 // cooperatively and never run in parallel with the engine or each other.
+// Distinct Engines share nothing and may run concurrently.
 type Engine struct {
 	now   Time
 	heap  eventHeap
@@ -69,9 +116,16 @@ type Engine struct {
 	sched chan struct{}
 	rng   *Rand
 
+	// free is the event free list: every fired or drained-cancelled event
+	// is recycled here, so steady-state scheduling (Delay, Yield, cond
+	// wakeups) allocates nothing.
+	free []*Event
+
 	liveProcs int
+	procs     []*Proc
 	procErr   error
 	current   *Proc
+	draining  bool
 }
 
 // NewEngine returns an engine with the clock at zero and a deterministic
@@ -103,14 +157,28 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.heap, ev)
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.cancelled = t, e.seq, fn, false
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn}
+	}
+	e.heap.push(ev)
 	return ev
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d uint64, fn func()) *Event {
 	return e.At(e.now+Time(d), fn)
+}
+
+// release returns a drained event to the free list.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Run executes events until the heap is empty. Processes that are blocked on
@@ -125,20 +193,53 @@ func (e *Engine) Run() {
 // the last executed event (it does not jump to horizon).
 func (e *Engine) RunUntil(horizon Time) {
 	for len(e.heap) > 0 {
-		next := e.heap[0]
-		if next.at > horizon {
+		if e.heap[0].at > horizon {
 			return
 		}
-		heap.Pop(&e.heap)
+		next := e.heap.pop()
 		if next.cancelled {
+			e.release(next)
 			continue
 		}
 		e.now = next.at
-		next.fn()
+		fn := next.fn
+		e.release(next)
+		fn()
 		if e.procErr != nil {
 			panic(e.procErr)
 		}
 	}
+}
+
+// errShutdown is the poison delivered to parked processes during Shutdown;
+// yielding processes re-panic with it, and the proc trampoline swallows it.
+var errShutdown = errors.New("sim: engine shut down")
+
+// Shutdown drains the engine after the simulation is over: every process
+// that is still blocked (on a Delay that will never elapse under a panicked
+// run, a Cond with no future signal, an idle CPU loop, ...) is woken one
+// last time and unwound, so its goroutine exits. Without this, every booted
+// machine parks its per-CPU loops forever — across thousands of pooled runs
+// that is an unbounded goroutine leak.
+//
+// Shutdown must be called from the goroutine that drives the engine, after
+// Run/RunUntil returned or panicked. The engine must not be used afterwards.
+// It is idempotent, and LiveProcs reports 0 once it returns.
+func (e *Engine) Shutdown() {
+	e.draining = true
+	// Index loop: a dying process could in principle spawn another during
+	// unwind; appended procs are drained in the same pass.
+	for i := 0; i < len(e.procs); i++ {
+		p := e.procs[i]
+		if p.done {
+			continue
+		}
+		e.resume(p)
+	}
+	e.procs = nil
+	e.heap = nil
+	e.free = nil
+	e.procErr = nil
 }
 
 // Current returns the process that is executing right now, or nil when

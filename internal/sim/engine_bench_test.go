@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The event loop is the hottest path in the repository: every Delay of
+// every simulated process passes through it. These benchmarks lock in the
+// concrete-heap + free-list implementation: ns/event and (above all)
+// allocs/event must stay flat. Run with -benchmem.
+
+// BenchmarkEventLoop measures raw schedule+dispatch throughput: a single
+// self-rescheduling event chain, the pure event-loop cost with no process
+// switches.
+func BenchmarkEventLoop(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var step func()
+	step = func() {
+		if n < b.N {
+			n++
+			e.After(1, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After(1, step)
+	e.Run()
+	if n < b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEventHeapChurn measures the heap under fan-out: k events in
+// flight at all times, pushed at deterministic pseudo-random offsets, so
+// sift-up/down actually move elements.
+func BenchmarkEventHeapChurn(b *testing.B) {
+	const fanout = 64
+	e := NewEngine(1)
+	r := NewRand(7)
+	n := 0
+	var step func()
+	step = func() {
+		if n < b.N {
+			n++
+			e.After(r.Uint64n(1000)+1, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < fanout; i++ {
+		e.After(r.Uint64n(1000)+1, step)
+	}
+	e.Run()
+}
+
+// BenchmarkProcDelay measures the full process block/resume round trip:
+// event scheduling plus the two channel handoffs of a cooperative switch.
+func BenchmarkProcDelay(b *testing.B) {
+	e := NewEngine(1)
+	e.Go("worker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	e.Shutdown()
+}
+
+// BenchmarkProcPingPong measures two processes alternating via a Cond —
+// the signal/wakeup pattern the simulated kernel's CPU loops use.
+func BenchmarkProcPingPong(b *testing.B) {
+	e := NewEngine(1)
+	c := e.NewCond()
+	e.Go("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Signal()
+			p.Delay(1)
+		}
+		c.Broadcast()
+	})
+	e.Go("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Wait(p)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	e.Shutdown()
+}
+
+// TestDelayIsAllocationFree locks in the free-list win: once the engine is
+// warm, a Delay round trip performs no heap allocation for its event (the
+// pre-bound resume closure and recycled Event cover it). The threshold
+// tolerates incidental runtime allocations but would catch any regression
+// back to one-allocation-per-event (10000 would fail loudly).
+func TestDelayIsAllocationFree(t *testing.T) {
+	e := NewEngine(1)
+	total := 0
+	e.Go("worker", func(p *Proc) {
+		for i := 0; i < 11_000; i++ {
+			p.Delay(1)
+			total++
+		}
+	})
+	// Warm up: the first window grows the heap slice and free list.
+	e.RunUntil(1000)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e.RunUntil(11_000)
+	runtime.ReadMemStats(&after)
+	e.Run()
+	e.Shutdown()
+	if total != 11_000 {
+		t.Fatalf("ran %d delays, want 11000", total)
+	}
+	allocs := after.Mallocs - before.Mallocs
+	if allocs > 500 {
+		t.Fatalf("10000 warm Delay round trips allocated %d objects, want ~0", allocs)
+	}
+}

@@ -14,6 +14,12 @@ type Proc struct {
 	eng  *Engine
 	wake chan struct{}
 	done bool
+
+	// resumeFn is the one resume closure this process ever needs: binding
+	// it once at spawn keeps Delay/Yield/cond wakeups from allocating a
+	// fresh closure per block, which together with the engine's event free
+	// list makes steady-state scheduling allocation-free.
+	resumeFn func()
 }
 
 // Engine returns the engine this process runs under.
@@ -29,23 +35,29 @@ func (p *Proc) Done() bool { return p.done }
 // virtual time, after the currently running event or process yields.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{Name: name, eng: e, wake: make(chan struct{})}
+	p.resumeFn = func() { e.resume(p) }
 	e.liveProcs++
+	e.procs = append(e.procs, p)
 	go func() {
 		<-p.wake
 		defer func() {
-			if r := recover(); r != nil {
+			if r := recover(); r != nil && r != errShutdown {
 				// Surface the panic to Run() instead of deadlocking the
 				// engine goroutine, which would otherwise wait forever on
-				// e.sched.
+				// e.sched. Shutdown poison unwinds silently.
 				e.procErr = fmt.Errorf("sim: proc %q panicked: %v", p.Name, r)
 			}
 			p.done = true
 			e.liveProcs--
 			e.sched <- struct{}{}
 		}()
+		if e.draining {
+			// Woken for the first time by Shutdown: never run the body.
+			panic(errShutdown)
+		}
 		fn(p)
 	}()
-	e.At(e.now, func() { e.resume(p) })
+	e.At(e.now, p.resumeFn)
 	return p
 }
 
@@ -54,6 +66,9 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 func (p *Proc) yield() {
 	p.eng.sched <- struct{}{}
 	<-p.wake
+	if p.eng.draining {
+		panic(errShutdown)
+	}
 }
 
 // Delay advances the process by d cycles of uninterruptible work or sleep.
@@ -61,13 +76,13 @@ func (p *Proc) Delay(d uint64) {
 	if d == 0 {
 		return
 	}
-	p.eng.After(d, func() { p.eng.resume(p) })
+	p.eng.After(d, p.resumeFn)
 	p.yield()
 }
 
 // Yield lets every other runnable process and event at the current time run
 // before this process continues. It costs zero cycles.
 func (p *Proc) Yield() {
-	p.eng.After(0, func() { p.eng.resume(p) })
+	p.eng.After(0, p.resumeFn)
 	p.yield()
 }

@@ -68,6 +68,7 @@ func RunApache(cfg ApacheConfig) ApacheResult {
 		cfg.FilePages = 3
 	}
 	w := NewWorld(cfg.Mode, cfg.Core, cfg.Seed)
+	defer w.Close()
 	as := w.K.NewAddressSpace()
 	file := w.K.NewFile("htdocs", uint64(cfg.FilePages)*pg)
 

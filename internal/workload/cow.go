@@ -4,6 +4,7 @@ import (
 	"shootdown/internal/core"
 	"shootdown/internal/kernel"
 	"shootdown/internal/mm"
+	"shootdown/internal/sched"
 	"shootdown/internal/stats"
 	"shootdown/internal/syscalls"
 )
@@ -35,15 +36,17 @@ func RunCoW(cfg CoWConfig) stats.Summary {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 5
 	}
-	var means []float64
-	for run := 0; run < cfg.Runs; run++ {
-		means = append(means, runCoWOnce(cfg, cfg.Seed+uint64(run)*104729))
-	}
+	// Independent per-run worlds: fan the repetitions out; assembly by run
+	// index keeps the summary identical to a serial loop.
+	means := sched.Collect(cfg.Runs, func(run int) float64 {
+		return runCoWOnce(cfg, cfg.Seed+uint64(run)*104729)
+	})
 	return stats.Summarize(means)
 }
 
 func runCoWOnce(cfg CoWConfig, seed uint64) float64 {
 	w := NewWorld(cfg.Mode, cfg.Core, seed)
+	defer w.Close()
 	as := w.K.NewAddressSpace()
 	file := w.K.NewFile("cow-data", uint64(cfg.Pages)*pg)
 

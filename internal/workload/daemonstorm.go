@@ -50,6 +50,7 @@ func RunDaemonStorm(cfg DaemonStormConfig) DaemonStormResult {
 		cfg.Rounds = 60
 	}
 	w := NewWorld(cfg.Mode, cfg.Core, cfg.Seed)
+	defer w.Close()
 	k := w.K
 	as := k.NewAddressSpace()
 	file := k.NewFile("cache", 128*pg)

@@ -36,6 +36,7 @@ func RunContention(cfg ContentionConfig) uint64 {
 		cfg.Iterations = 15
 	}
 	w := NewWorld(cfg.Mode, cfg.Core, cfg.Seed)
+	defer w.Close()
 	as := w.K.NewAddressSpace()
 	stop := false
 	// A responder keeps the mm active everywhere.
@@ -91,6 +92,7 @@ type LazyProbeResult struct {
 // window under the given config (compare LazyRemote on/off).
 func RunLazyProbe(mode Mode, cfg core.Config, seed uint64) LazyProbeResult {
 	w := NewWorld(mode, cfg, seed)
+	defer w.Close()
 	as := w.K.NewAddressSpace()
 	var out LazyProbeResult
 	var probeVA uint64
@@ -152,6 +154,7 @@ type HWMessageProbeResult struct {
 // cacheline transfers with/without the hardware extension.
 func RunHWMessageProbe(hw bool, seed uint64) HWMessageProbeResult {
 	eng := sim.NewEngine(seed)
+	defer eng.Shutdown()
 	kcfg := kernel.DefaultConfig()
 	kcfg.HWMessageIPI = hw
 	k := kernel.New(eng, mach.DefaultTopology(), mach.DefaultCosts(), kcfg)
@@ -204,6 +207,7 @@ type ParavirtProbeResult struct {
 // translations cached.
 func RunParavirtProbe(hint bool, pages int, seed uint64) ParavirtProbeResult {
 	eng := sim.NewEngine(seed)
+	defer eng.Shutdown()
 	kcfg := kernel.DefaultConfig()
 	kcfg.NestedPaging = true
 	kcfg.ParavirtFractureHint = hint
@@ -256,6 +260,7 @@ type PCIDProbeResult struct {
 // spaces, so a process's entries survive its neighbour's time slice).
 func RunPCIDProbe(disablePCID bool, slices, pages int, seed uint64) PCIDProbeResult {
 	eng := sim.NewEngine(seed)
+	defer eng.Shutdown()
 	kcfg := kernel.DefaultConfig()
 	kcfg.DisablePCID = disablePCID
 	k := kernel.New(eng, mach.DefaultTopology(), mach.DefaultCosts(), kcfg)

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"shootdown/internal/core"
+)
+
+// TestWorkloadsLeakNoProcs is the goroutine-leak contract: every workload
+// closes its worlds after the last stats read, so no simulated process —
+// in particular no idle kernel CPU loop — stays parked on a goroutine
+// once the workload returns. The boot hook captures every world each
+// workload boots; afterwards each must report zero live processes.
+func TestWorkloadsLeakNoProcs(t *testing.T) {
+	var mu sync.Mutex
+	var worlds []*World
+	restore := SetBootHook(func(w *World) {
+		mu.Lock()
+		worlds = append(worlds, w)
+		mu.Unlock()
+	})
+	defer restore()
+
+	check := func(name string, fn func()) {
+		t.Run(name, func(t *testing.T) {
+			mu.Lock()
+			worlds = worlds[:0]
+			mu.Unlock()
+			fn()
+			mu.Lock()
+			defer mu.Unlock()
+			if len(worlds) == 0 {
+				t.Fatal("workload booted no worlds (boot hook not invoked)")
+			}
+			for i, w := range worlds {
+				if n := w.Eng.LiveProcs(); n != 0 {
+					t.Errorf("world %d of %d: %d live procs after workload returned", i, len(worlds), n)
+				}
+			}
+		})
+	}
+
+	check("micro", func() {
+		RunMicro(MicroConfig{Mode: Safe, PTEs: 1, Iterations: 5, Warmup: 1, Runs: 2, Seed: 1})
+	})
+	check("cow", func() {
+		RunCoW(CoWConfig{Mode: Safe, Pages: 8, Runs: 2, Seed: 1})
+	})
+	check("sysbench", func() {
+		RunSysbench(SysbenchConfig{Mode: Safe, Threads: 2, HotPages: 64, WritesPerSync: 4, Syncs: 2, ComputePerWrite: 1000, Seed: 1})
+	})
+	check("apache", func() {
+		RunApache(ApacheConfig{Mode: Safe, Cores: 2, RequestsPerCore: 4, FilePages: 2, ParseCycles: 5000, SendCycles: 5000, Seed: 1})
+	})
+	check("ackprobe", func() {
+		RunAckProbe(AckProbeConfig{Mode: Safe, Iterations: 4, Seed: 1})
+	})
+	check("microstats", func() {
+		RunMicroWithStats(MicroConfig{Mode: Safe, PTEs: 1, Iterations: 5, Warmup: 1, Seed: 1})
+	})
+	check("contention", func() {
+		RunContention(ContentionConfig{Mode: Safe, Initiators: 2, Iterations: 4, Seed: 1})
+	})
+	check("lazyprobe", func() {
+		RunLazyProbe(Safe, core.Config{}, 1)
+	})
+	check("daemonstorm", func() {
+		RunDaemonStorm(DaemonStormConfig{Mode: Safe, AppThreads: 2, Rounds: 10, Seed: 1})
+	})
+}

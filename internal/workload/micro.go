@@ -6,6 +6,7 @@ import (
 	"shootdown/internal/mach"
 	"shootdown/internal/mm"
 	"shootdown/internal/pagetable"
+	"shootdown/internal/sched"
 	"shootdown/internal/stats"
 	"shootdown/internal/syscalls"
 )
@@ -61,11 +62,19 @@ func RunMicro(cfg MicroConfig) MicroResult {
 	if cfg.PTEs <= 0 {
 		cfg.PTEs = 1
 	}
-	var initMeans, respMeans []float64
-	for run := 0; run < cfg.Runs; run++ {
+	type pair struct{ im, rm float64 }
+	// Each run is an independent world with its own derived seed, so the
+	// repetitions fan out across the scheduler pool; Collect reassembles
+	// them in run order, keeping the summary bit-identical to a serial loop.
+	runs := sched.Collect(cfg.Runs, func(run int) pair {
 		im, rm := runMicroOnce(cfg, cfg.Seed+uint64(run)*7919)
-		initMeans = append(initMeans, im)
-		respMeans = append(respMeans, rm)
+		return pair{im, rm}
+	})
+	initMeans := make([]float64, len(runs))
+	respMeans := make([]float64, len(runs))
+	for i, r := range runs {
+		initMeans[i] = r.im
+		respMeans[i] = r.rm
 	}
 	return MicroResult{
 		Initiator: stats.Summarize(initMeans),
@@ -74,7 +83,9 @@ func RunMicro(cfg MicroConfig) MicroResult {
 }
 
 func runMicroOnce(cfg MicroConfig, seed uint64) (initMean, respMean float64) {
-	return runMicroOn(NewWorld(cfg.Mode, cfg.Core, seed), cfg)
+	w := NewWorld(cfg.Mode, cfg.Core, seed)
+	defer w.Close()
+	return runMicroOn(w, cfg)
 }
 
 // runMicroOn executes the benchmark body on an already-booted world.

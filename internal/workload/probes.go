@@ -33,6 +33,7 @@ func RunAckProbe(cfg AckProbeConfig) AckProbeResult {
 		cfg.Iterations = 20
 	}
 	w := NewWorld(cfg.Mode, cfg.Core, cfg.Seed)
+	defer w.Close()
 	as := w.K.NewAddressSpace()
 	stop := false
 	responder := &kernel.Task{Name: "responder", MM: as, Fn: func(ctx *kernel.Ctx) {
@@ -86,6 +87,7 @@ func RunMicroWithStats(cfg MicroConfig) (MicroResult, uint64) {
 		cfg.Iterations = 50
 	}
 	w := NewWorld(cfg.Mode, cfg.Core, cfg.Seed)
+	defer w.Close()
 	initMean, respMean := runMicroOn(w, cfg)
 	return MicroResult{
 		Initiator: stats.Summarize([]float64{initMean}),

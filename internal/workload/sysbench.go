@@ -67,6 +67,7 @@ func RunSysbench(cfg SysbenchConfig) SysbenchResult {
 		cfg.HotPages = 2048
 	}
 	w := NewWorld(cfg.Mode, cfg.Core, cfg.Seed)
+	defer w.Close()
 	as := w.K.NewAddressSpace()
 	// A 3 GiB file as in the paper; only the hot region is ever touched.
 	file := w.K.NewFile("pmem-db", 3<<30)

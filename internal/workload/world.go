@@ -44,6 +44,11 @@ func (m Mode) String() string {
 // any task is spawned. tlbcheck uses it to attach the coherence sanitizer
 // to every machine an experiment creates. Hooks must be observational:
 // they may install observers but not advance simulated time.
+//
+// parallel-safe: SetBootHook is called only while the scheduler pool is
+// idle (before a suite's fan-out starts); during fan-out the hook is
+// read-only, and the hook body itself must be safe for concurrent worlds
+// (guard any shared accumulator with a mutex).
 var bootHook func(*World)
 
 // SetBootHook installs fn as the world boot hook and returns a restore
@@ -53,6 +58,11 @@ func SetBootHook(fn func(*World)) (restore func()) {
 	bootHook = fn
 	return func() { bootHook = prev }
 }
+
+// Close shuts the world's engine down, unwinding every parked process
+// (idle CPU loops, the flusher) so their goroutines exit. Call it after
+// the last read of simulation state; the world is unusable afterwards.
+func (w *World) Close() { w.Eng.Shutdown() }
 
 // NewWorld boots a machine with the given safety mode and protocol config.
 func NewWorld(mode Mode, cfg core.Config, seed uint64) *World {

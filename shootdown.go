@@ -151,6 +151,11 @@ func (m *Machine) EnableTrace() *trace.Recorder { return m.k.EnableTrace() }
 // spawned threads finished or are idle).
 func (m *Machine) Run() { m.eng.Run() }
 
+// Close shuts the machine down, unwinding the parked per-CPU kernel loops
+// so their goroutines exit. Call it after the last Stats/Interrupted read;
+// the machine is unusable afterwards.
+func (m *Machine) Close() { m.eng.Shutdown() }
+
 // Now returns the current virtual time in cycles.
 func (m *Machine) Now() uint64 { return uint64(m.eng.Now()) }
 
