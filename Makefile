@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint sanitize racemodel fuzz bench check clean
+.PHONY: all build test race lint vet sanitize racemodel fuzz bench check clean
 
 all: build
 
@@ -16,12 +16,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-## lint: gofmt + go vet + the repo-invariant analyzers (tlbcheck -lint)
-lint:
+## lint: gofmt + go vet + both static tiers (syntactic tlbcheck -lint, typed tlbvet)
+lint: vet
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/tlbcheck -lint ./...
+
+## vet: the type-checked analysis tier (whole-module typecheck + CFG dataflow)
+vet:
+	$(GO) run ./cmd/tlbvet
 
 ## sanitize: run the experiment suite under the shadow-oracle checker
 sanitize:

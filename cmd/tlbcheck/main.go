@@ -20,13 +20,20 @@
 // iteration, observational hooks stay pure, and race-instrumented shared
 // state is only touched through its accessors.
 //
+// With -vet it runs the type-checked analysis tier
+// (internal/sanitizer/typedlint, same engine as cmd/tlbvet): whole-module
+// typechecking plus CFG dataflow — undischarged flush obligations, static
+// lock-order cycles, named-constant cycle costs, disguised banned
+// imports, and hooks that mutate observed state through method calls.
+//
 // Usage:
 //
 //	tlbcheck                     # sanitize the full experiment suite
 //	tlbcheck -quick              # CI-sized runs
 //	tlbcheck -run fig6,table3    # specific experiments
 //	tlbcheck -race-model         # happens-before race check of the suite
-//	tlbcheck -lint ./...         # static analyzers only
+//	tlbcheck -lint ./...         # syntactic static analyzers only
+//	tlbcheck -vet                # typed static analyzers only
 package main
 
 import (
@@ -39,12 +46,14 @@ import (
 	"shootdown/internal/race"
 	"shootdown/internal/sanitizer"
 	"shootdown/internal/sanitizer/lint"
+	"shootdown/internal/sanitizer/typedlint"
 	"shootdown/internal/sched"
 )
 
 func main() {
 	var (
-		doLint    = flag.Bool("lint", false, "run the static analyzers instead of the sanitized simulation")
+		doLint    = flag.Bool("lint", false, "run the syntactic static analyzers instead of the sanitized simulation")
+		doVet     = flag.Bool("vet", false, "run the type-checked static analyzers instead of the sanitized simulation")
 		raceModel = flag.Bool("race-model", false, "run the happens-before race detector instead of the sanitizer")
 		quick     = flag.Bool("quick", false, "shrink experiment iteration counts (CI size)")
 		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
@@ -58,10 +67,30 @@ func main() {
 	if *doLint {
 		os.Exit(runLint(flag.Args()))
 	}
+	if *doVet {
+		os.Exit(runVet())
+	}
 	if *raceModel {
 		os.Exit(runRaceModel(*run, *quick, *seed, *verbose))
 	}
 	os.Exit(runSanitized(*run, *quick, *seed, *verbose))
+}
+
+func runVet() int {
+	res, err := typedlint.Check()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlbcheck: %v\n", err)
+		return 2
+	}
+	for _, f := range res.Findings {
+		fmt.Println(f)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tlbcheck: %d vet finding(s)\n", len(res.Findings))
+		return 1
+	}
+	fmt.Println("tlbcheck: vet clean")
+	return 0
 }
 
 func runLint(patterns []string) int {

@@ -1,0 +1,60 @@
+// Command tlbvet runs the type-checked analysis tier
+// (internal/sanitizer/typedlint) over the module: whole-module
+// typechecking (stdlib go/types only), intraprocedural CFG dataflow and
+// call-graph summaries behind five analyzers:
+//
+//   - flushobligation: every restrictive page-table mutation's returned
+//     mm.FlushRange must reach a shootdown discharge on every path, be
+//     returned to the caller, or carry an "obligation-transferred:" marker
+//   - lockorder: static lockdep — acquisition-order cycles between
+//     mm.RWSem lock classes anywhere in the call graph
+//   - costliteral: constant cycle costs (including named constants and
+//     thin Delay wrappers) outside the cost model
+//   - determinism: banned imports (time, math/rand) by path, catching
+//     aliased/dot/blank forms
+//   - observerpurity: hooks mutating observed state, including through
+//     mutating method calls and local aliases
+//
+// Output is sorted by file, line and analyzer, so it is byte-identical
+// regardless of scheduling. Exit status: 0 clean, 1 findings, 2 on a
+// load/typecheck error.
+//
+// Usage:
+//
+//	tlbvet                  # vet the enclosing module
+//	tlbvet -suppressions    # also list obligation-transferred suppressions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shootdown/internal/sanitizer/typedlint"
+)
+
+func main() {
+	var (
+		sups = flag.Bool("suppressions", false, "list documented obligation-transferred suppressions after findings")
+	)
+	flag.Parse()
+
+	res, err := typedlint.Check()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlbvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range res.Findings {
+		fmt.Println(f)
+	}
+	if *sups {
+		for _, s := range res.Suppressions {
+			fmt.Printf("%s:%d: %s: suppressed: %s\n", s.File, s.Line, s.Analyzer, s.Reason)
+		}
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tlbvet: %d finding(s)\n", len(res.Findings))
+		os.Exit(1)
+	}
+	fmt.Println("tlbvet: clean")
+}

@@ -132,7 +132,7 @@ func Kswapd(k *kernel.Kernel, cpu mach.CPU, as *mm.AddressSpace, file *mm.File, 
 			kernelSection(ctx, func() {
 				ctx.CPU.DownRead(ctx.P, as.MmapSem)
 				victims, fr, err := as.ReclaimCleanFilePages(file, batch)
-				if err == nil && len(victims) > 0 {
+				if err == nil && !fr.Empty() {
 					ctx.P.Delay(uint64(len(victims)) * k.Cost.PTEUpdate)
 					k.Flusher().FlushAfter(ctx, as, fr)
 					st.Reclaims += len(victims)

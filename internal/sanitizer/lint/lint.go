@@ -251,14 +251,29 @@ func rangedName(x ast.Expr, mapNames map[string]bool) (string, bool) {
 	return "", false
 }
 
+// TreeStats records what a CheckTree pass actually covered, so callers
+// (and the coverage test) can verify the walk descended everywhere it
+// should instead of trusting the pattern expansion blindly.
+type TreeStats struct {
+	// Files lists every scanned file, module-relative, in scan order.
+	Files []string
+}
+
 // CheckTree walks every non-test .go file under the given patterns
 // (directories, or `dir/...` for recursion; `./...` covers the module)
 // and returns all findings sorted by file and line.
 func CheckTree(patterns ...string) ([]Finding, error) {
+	fs, _, err := CheckTreeStats(patterns...)
+	return fs, err
+}
+
+// CheckTreeStats is CheckTree plus coverage accounting.
+func CheckTreeStats(patterns ...string) ([]Finding, *TreeStats, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	var out []Finding
+	stats := &TreeStats{}
 	seen := make(map[string]bool)
 	modRoot := findModuleRoot()
 	for _, pat := range patterns {
@@ -291,7 +306,9 @@ func CheckTree(patterns ...string) ([]Finding, error) {
 			if err != nil {
 				return err
 			}
-			fs, err := CheckSource(moduleRel(modRoot, path), src)
+			rel := moduleRel(modRoot, path)
+			stats.Files = append(stats.Files, rel)
+			fs, err := CheckSource(rel, src)
 			if err != nil {
 				return err
 			}
@@ -299,7 +316,7 @@ func CheckTree(patterns ...string) ([]Finding, error) {
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -308,7 +325,7 @@ func CheckTree(patterns ...string) ([]Finding, error) {
 		}
 		return out[i].Line < out[j].Line
 	})
-	return out, nil
+	return out, stats, nil
 }
 
 // findModuleRoot ascends from the working directory to the nearest go.mod,

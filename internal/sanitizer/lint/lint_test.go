@@ -3,6 +3,7 @@ package lint
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -33,6 +34,15 @@ func TestDeterminismAnalyzerFires(t *testing.T) {
 	fs := loadFixture(t, "bad_determinism.go", "internal/workload/fixture.go")
 	if got := countBy(fs, "determinism"); got != 2 {
 		t.Fatalf("determinism findings = %d, want 2 (time + math/rand): %v", got, fs)
+	}
+}
+
+func TestDeterminismCatchesDisguisedImports(t *testing.T) {
+	// Aliased, dot and blank imports of banned packages all fire: the
+	// analyzer keys on the import path, not the name the file binds.
+	fs := loadFixture(t, "bad_determinism_alias.go", "internal/workload/fixture.go")
+	if got := countBy(fs, "determinism"); got != 3 {
+		t.Fatalf("determinism findings = %d, want 3 (dot rand, blank rand/v2, aliased time): %v", got, fs)
 	}
 }
 
@@ -108,6 +118,34 @@ func TestRepoIsClean(t *testing.T) {
 	if len(fs) != 0 {
 		for _, f := range fs {
 			t.Error(f)
+		}
+	}
+}
+
+// TestCheckTreeCoverage pins the walk's actual reach: the module pattern
+// must descend into cmd/ and examples/ (tools and example programs carry
+// the same invariants), and the scanned-file count must clear a floor so
+// a silently narrowed walk cannot pass as "clean".
+func TestCheckTreeCoverage(t *testing.T) {
+	_, stats, err := CheckTreeStats("../../../...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The repo has >75 non-test Go files today; the floor leaves headroom
+	// for deletions while catching a walk that lost whole subtrees.
+	const floor = 60
+	if len(stats.Files) <= floor {
+		t.Fatalf("scanned %d files, want > %d — the tree walk lost coverage", len(stats.Files), floor)
+	}
+	prefixes := map[string]bool{}
+	for _, f := range stats.Files {
+		if i := strings.IndexByte(f, '/'); i > 0 {
+			prefixes[f[:i]] = true
+		}
+	}
+	for _, want := range []string{"cmd", "examples", "internal"} {
+		if !prefixes[want] {
+			t.Fatalf("no files scanned under %s/ (got prefixes %v)", want, prefixes)
 		}
 	}
 }

@@ -1,0 +1,17 @@
+// Fixture: banned imports in disguised forms — aliased, dot and blank.
+// The determinism analyzer matches on the import path, not the bound
+// name, so renaming the package buys nothing. Kept as a regression
+// fixture even though the typed tier (internal/sanitizer/typedlint)
+// subsumes it: this is the cheap first line of defense that runs on
+// every file without typechecking.
+package fixture
+
+import (
+	. "math/rand"
+	_ "math/rand/v2"
+	clock "time"
+)
+
+var _ = clock.Nanosecond
+
+var _ = Int

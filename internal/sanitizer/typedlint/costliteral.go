@@ -1,0 +1,169 @@
+package typedlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"shootdown/internal/sanitizer/lint"
+)
+
+// costliteral (typed tier): every cycle cost charged in the machine-model
+// packages must come from the cost model. The syntactic pass only catches
+// a literal written directly at a Delay call; this pass catches what it
+// misses:
+//
+//   - named constants and constant expressions (go/types constant folding
+//     evaluates them, so `p.Delay(fixedCost)` is as visible as
+//     `p.Delay(123)`), and
+//   - thin wrappers: a parameter that a function forwards whole to Delay
+//     (or to another cost-like parameter) is itself cost-like, so a
+//     constant passed to the wrapper is flagged at the wrapper's call
+//     site.
+//
+// The sink is (*sim.Proc).Delay resolved by callee identity, not method
+// name, so an unrelated Delay method elsewhere cannot confuse the pass.
+
+// costScope mirrors the syntactic analyzer's directory scope.
+var costScope = []string{
+	"internal/apic/", "internal/cache/", "internal/core/", "internal/daemons/",
+	"internal/kernel/", "internal/mm/", "internal/smp/", "internal/syscalls/",
+	"internal/tlb/",
+}
+
+func inCostScopeTyped(rel string) bool {
+	rel = filepath.ToSlash(rel)
+	if inFixture(rel) {
+		return true
+	}
+	for _, p := range costScope {
+		if strings.HasPrefix(rel, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDelaySink reports whether fn is (*sim.Proc).Delay.
+func isDelaySink(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Delay" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), modulePath+"/internal/sim", "Proc")
+}
+
+// costParam identifies one cost-like parameter of a module function.
+type costParam struct {
+	fn  *types.Func
+	idx int // index into the signature's params
+}
+
+// checkCostConst runs the typed costliteral analyzer.
+func checkCostConst(ctx *modCtx) ([]lint.Finding, []Suppression) {
+	funcs := allFuncs(ctx.pkgs)
+
+	// Fixpoint: a parameter is cost-like when its function passes it whole
+	// (modulo parens and conversions) to Delay or to an already cost-like
+	// parameter. Thin wrappers of wrappers converge in a few rounds.
+	costLike := make(map[costParam]bool)
+	paramIndex := func(fn funcDecl, v *types.Var) int {
+		sig := fn.obj.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range funcs {
+			info := fd.pkg.Info
+			ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(info, call)
+				if callee == nil {
+					return true
+				}
+				for i, arg := range call.Args {
+					v := identObj(info, unwrap(info, arg))
+					if v == nil {
+						continue
+					}
+					pi := paramIndex(fd, v)
+					if pi < 0 {
+						continue
+					}
+					sunk := (isDelaySink(callee) && i == 0) ||
+						costLike[costParam{fn: callee, idx: i}]
+					key := costParam{fn: fd.obj, idx: pi}
+					if sunk && !costLike[key] {
+						costLike[key] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Flag compile-time-constant arguments reaching a sink from cost-scope
+	// code. Zero is exempt: `Delay(0)` is an explicit no-op, not a cost.
+	var out []lint.Finding
+	for _, fd := range funcs {
+		if !inCostScopeTyped(fd.file) {
+			continue
+		}
+		info := fd.pkg.Info
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil {
+				return true
+			}
+			for i, arg := range call.Args {
+				isSink := (isDelaySink(callee) && i == 0) ||
+					costLike[costParam{fn: callee, idx: i}]
+				if !isSink {
+					continue
+				}
+				tv, ok := info.Types[arg]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+					continue
+				}
+				if v, ok := constant.Uint64Val(tv.Value); ok && v == 0 {
+					continue
+				}
+				what := "constant cycle cost"
+				if _, lit := ast.Unparen(arg).(*ast.BasicLit); !lit {
+					what = "named-constant cycle cost"
+				}
+				dest := "Delay"
+				if !isDelaySink(callee) {
+					dest = fmt.Sprintf("cost parameter %d of %s", i, callee.Name())
+				}
+				out = append(out, lint.Finding{
+					File: fd.file, Line: ctx.m.Fset.Position(arg.Pos()).Line,
+					Analyzer: "costliteral",
+					Msg: fmt.Sprintf("%s %s passed to %s; route it through the cost model (internal/mach/costs.go)",
+						what, tv.Value.ExactString(), dest),
+				})
+			}
+			return true
+		})
+	}
+	return out, nil
+}

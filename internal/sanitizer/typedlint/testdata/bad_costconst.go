@@ -1,0 +1,23 @@
+// Fixture: constant cycle costs the syntactic costliteral pass cannot
+// see. The typed analyzer must report exactly two findings — a named
+// constant at a Delay call, and the same constant routed through a thin
+// wrapper whose parameter the fixpoint proves cost-like. The syntactic
+// pass (which only matches integer literals at the call site) reports
+// zero on this file; the paired test asserts that delta.
+package costfix
+
+import "shootdown/internal/sim"
+
+const fixedCost = 120
+
+func chargeFixed(p *sim.Proc) {
+	p.Delay(fixedCost)
+}
+
+func delayVia(p *sim.Proc, cost uint64) {
+	p.Delay(cost)
+}
+
+func chargeWrapped(p *sim.Proc) {
+	delayVia(p, fixedCost)
+}

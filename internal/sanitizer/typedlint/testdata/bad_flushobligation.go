@@ -1,0 +1,18 @@
+// Fixture: a restrictive mutator with the shootdown removed. The
+// flushobligation analyzer must report exactly one finding — the returned
+// FlushRange reaches the exit of brokenMunmap undischarged on the success
+// path (the error path is legitimately flush-free).
+package oblfix
+
+import "shootdown/internal/mm"
+
+func brokenMunmap(as *mm.AddressSpace, addr, length uint64) error {
+	fr, err := as.Unmap(addr, length)
+	if err != nil {
+		return err
+	}
+	// The TLB shootdown that must cover fr is missing: any CPU with the
+	// old PTE cached can still translate through it.
+	_ = fr
+	return nil
+}

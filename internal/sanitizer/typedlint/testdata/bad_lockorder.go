@@ -1,0 +1,26 @@
+// Fixture: a classic AB/BA lock-order inversion between two mm.RWSem
+// classes. The lockorder analyzer must report exactly one cycle.
+package lockfix
+
+import (
+	"shootdown/internal/mm"
+	"shootdown/internal/sim"
+)
+
+type twoLocks struct {
+	a, b *mm.RWSem
+}
+
+func (t *twoLocks) abPath(p *sim.Proc) {
+	t.a.DownWrite(p)
+	t.b.DownWrite(p)
+	t.b.UpWrite(p)
+	t.a.UpWrite(p)
+}
+
+func (t *twoLocks) baPath(p *sim.Proc) {
+	t.b.DownRead(p)
+	t.a.DownRead(p)
+	t.a.UpRead(p)
+	t.b.UpRead(p)
+}

@@ -1,0 +1,48 @@
+// Fixture: every sanctioned way of meeting a flush obligation. The
+// flushobligation analyzer must report nothing here, and must record
+// exactly one suppression (the obligation-transferred marker).
+package oblgood
+
+import (
+	"shootdown/internal/kernel"
+	"shootdown/internal/mm"
+)
+
+// okMunmap discharges through the Flusher on the success path; the error
+// path owes nothing.
+func okMunmap(ctx *kernel.Ctx, as *mm.AddressSpace, addr, length uint64) error {
+	fr, err := as.Unmap(addr, length)
+	if err != nil {
+		return err
+	}
+	ctx.K.Flusher().FlushAfter(ctx, as, fr)
+	return nil
+}
+
+// transferUp returns the obligation to its caller, where the analyzer
+// births it again — the contract follows the value up the call graph.
+func transferUp(as *mm.AddressSpace, addr, length uint64) (mm.FlushRange, error) {
+	return as.Unmap(addr, length)
+}
+
+// emptyGuard releases the obligation on the fr.Empty() edge, mirroring
+// syscalls.Fork.
+func emptyGuard(ctx *kernel.Ctx, as *mm.AddressSpace, addr, length uint64) {
+	fr, err := as.Unmap(addr, length)
+	if err != nil {
+		return
+	}
+	if fr.Empty() {
+		return
+	}
+	ctx.K.Flusher().FlushAfter(ctx, as, fr)
+}
+
+// markerTransfer documents that something outside the analyzable call
+// graph owns the flush; the analyzer records a suppression instead of a
+// finding.
+func markerTransfer(as *mm.AddressSpace, addr, length uint64) {
+	// obligation-transferred: the batch driver full-flushes every TLB after each round
+	fr, err := as.Unmap(addr, length)
+	_, _ = fr, err
+}

@@ -1,0 +1,328 @@
+// Package typedlint holds the type-checked analysis tier behind
+// `tlbcheck -vet` and cmd/tlbvet. Where internal/sanitizer/lint works on a
+// single file's syntax, this package typechecks the whole module (stdlib
+// only: go/types plus the GOROOT source importer) and runs dataflow
+// analyses on intraprocedural CFGs:
+//
+//   - flushobligation: every value of type mm.FlushRange returned by a
+//     module call must reach a shootdown discharge (kernel.Flusher's
+//     FlushAfter, or a callee proven to discharge it) on every path, be
+//     returned to the caller, or carry an "obligation-transferred:" marker.
+//   - lockorder: a static lockdep over the call graph — acquisition-order
+//     cycles between mm.RWSem classes are reported without running a
+//     single seed, complementing the runtime lockdep in internal/sanitizer
+//     which only sees executed orders.
+//   - costliteral: the typed successor of the syntactic pass — named
+//     constants and thin Delay wrappers no longer escape, because sinks
+//     are found by callee identity and arguments by constant value.
+//   - determinism: banned imports (time, math/rand) by import path, so
+//     aliased, dot and blank imports cannot slip through.
+//   - observerpurity: hook/observer/probe literals must not mutate
+//     simulated state even through method calls or aliases, using
+//     module-wide mutating-method summaries.
+//
+// Findings reuse lint.Finding and are sorted by file, line and analyzer,
+// so output is byte-identical no matter how the caller schedules the work.
+package typedlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"shootdown/internal/sanitizer/lint"
+)
+
+// Suppression records a finding silenced by a documented marker, so
+// suppressions stay auditable (tlbfuzz prints them next to failures).
+type Suppression struct {
+	// File and Line locate the suppressed site (module-relative).
+	File string
+	Line int
+	// Analyzer names the rule that would have fired.
+	Analyzer string
+	// Reason is the marker text after the colon.
+	Reason string
+}
+
+// Result is the outcome of a typed-lint run.
+type Result struct {
+	Findings     []lint.Finding
+	Suppressions []Suppression
+}
+
+// Check loads the enclosing module and runs every typed analyzer.
+func Check() (*Result, error) {
+	m, err := LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	return CheckModule(m), nil
+}
+
+// CheckModule runs every typed analyzer over an already-loaded module.
+func CheckModule(m *Module) *Result {
+	return run(m, m.Pkgs, nil)
+}
+
+// CheckFixture typechecks one testdata fixture against the module and runs
+// the analyzers with the fixture in scope, reporting only findings located
+// in the fixture's file. Used by tests to prove each analyzer fires.
+func CheckFixture(m *Module, file string) (*Result, error) {
+	fp, err := m.LoadFixture(file)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := append(append([]*Package{}, m.Pkgs...), fp)
+	return run(m, pkgs, fp), nil
+}
+
+// run executes the analyzers over pkgs. When only is non-nil, findings are
+// restricted to that package's files (fixture mode); module-wide context
+// (summaries, call graph) still spans all of pkgs.
+func run(m *Module, pkgs []*Package, only *Package) *Result {
+	ctx := &modCtx{m: m, pkgs: pkgs, markers: collectMarkers(m.Fset, pkgs)}
+	res := &Result{}
+	for _, an := range []func(*modCtx) ([]lint.Finding, []Suppression){
+		checkDeterminismTyped,
+		checkCostConst,
+		checkFlushObligation,
+		checkLockOrder,
+		checkObserverPurityTyped,
+	} {
+		fs, sups := an(ctx)
+		res.Findings = append(res.Findings, fs...)
+		res.Suppressions = append(res.Suppressions, sups...)
+	}
+	if only != nil {
+		res.Findings = filterByFiles(res.Findings, only.FileNames)
+		res.Suppressions = filterSupsByFiles(res.Suppressions, only.FileNames)
+	}
+	sortFindings(res.Findings)
+	sort.Slice(res.Suppressions, func(i, j int) bool {
+		a, b := res.Suppressions[i], res.Suppressions[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}
+
+func sortFindings(fs []lint.Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Analyzer != fs[j].Analyzer {
+			return fs[i].Analyzer < fs[j].Analyzer
+		}
+		return fs[i].Msg < fs[j].Msg
+	})
+}
+
+func filterByFiles(fs []lint.Finding, files []string) []lint.Finding {
+	allowed := make(map[string]bool, len(files))
+	for _, f := range files {
+		allowed[f] = true
+	}
+	var out []lint.Finding
+	for _, f := range fs {
+		if allowed[f.File] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func filterSupsByFiles(sups []Suppression, files []string) []Suppression {
+	allowed := make(map[string]bool, len(files))
+	for _, f := range files {
+		allowed[f] = true
+	}
+	var out []Suppression
+	for _, s := range sups {
+		if allowed[s.File] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// modCtx is the shared context every analyzer receives.
+type modCtx struct {
+	m    *Module
+	pkgs []*Package
+	// markers maps file → line → obligation-transferred reason. A marker
+	// covers its own line and the line below it (doc-comment style).
+	markers map[string]map[int]string
+}
+
+const transferMarker = "obligation-transferred:"
+
+// collectMarkers indexes every "obligation-transferred:" comment.
+func collectMarkers(fset *token.FileSet, pkgs []*Package) map[string]map[int]string {
+	out := make(map[string]map[int]string)
+	for _, p := range pkgs {
+		for i, f := range p.Files {
+			rel := p.FileNames[i]
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, transferMarker)
+					if idx < 0 {
+						continue
+					}
+					reason := strings.TrimSpace(c.Text[idx+len(transferMarker):])
+					if out[rel] == nil {
+						out[rel] = make(map[int]string)
+					}
+					out[rel][fset.Position(c.End()).Line] = reason
+				}
+			}
+		}
+	}
+	return out
+}
+
+// markerFor returns the obligation-transferred reason covering line (the
+// marker may sit on the line itself or on the line above).
+func (ctx *modCtx) markerFor(file string, line int) (string, bool) {
+	lines := ctx.markers[file]
+	if lines == nil {
+		return "", false
+	}
+	if r, ok := lines[line]; ok {
+		return r, true
+	}
+	r, ok := lines[line-1]
+	return r, ok
+}
+
+// --- shared typed helpers ---
+
+// fileOf returns the file (and its module-relative name) containing pos.
+func (p *Package) fileOf(pos token.Pos) (*ast.File, string) {
+	for i, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f, p.FileNames[i]
+		}
+	}
+	return nil, ""
+}
+
+// unwrap strips parentheses and value-preserving conversions, so
+// "uint64(x)" and "(x)" alias x for whole-argument matching.
+func unwrap(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.CallExpr:
+			// A conversion parses as a call whose Fun is a type.
+			if len(v.Args) == 1 && info.Types[v.Fun].IsType() {
+				e = v.Args[0]
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// calleeFunc resolves a call to its *types.Func (methods, interface
+// methods and plain functions). Returns nil for builtins, conversions and
+// function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// identObj resolves an expression to the variable object it denotes
+// (plain identifiers only; selectors and index expressions return nil).
+func identObj(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.ObjectOf(id).(*types.Var)
+	return v
+}
+
+// namedType unwraps pointers and returns the named type of t, or nil.
+func namedType(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (after pointer unwrap) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// funcDecl pairs a declaration with its package for module-wide passes.
+type funcDecl struct {
+	pkg  *Package
+	file string
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+// allFuncs lists every function declaration with a body across pkgs, in
+// deterministic (package, file, source) order.
+func allFuncs(pkgs []*Package) []funcDecl {
+	var out []funcDecl
+	for _, p := range pkgs {
+		for i, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				out = append(out, funcDecl{pkg: p, file: p.FileNames[i], decl: fd, obj: obj})
+			}
+		}
+	}
+	return out
+}
+
+// inFixture reports whether a module-relative file path is a typedlint
+// testdata fixture; fixtures opt into the scoped analyzers regardless of
+// directory, so firing tests can live under testdata.
+func inFixture(rel string) bool {
+	return strings.Contains(rel, "sanitizer/typedlint/testdata/")
+}

@@ -29,6 +29,17 @@ go vet ./...
 echo "==> tlbcheck -lint ./..."
 go run ./cmd/tlbcheck -lint ./...
 
+# The whole static tier runs before the long sanitize/race-model suites:
+# a typed-analysis finding should fail the gate in seconds, not after the
+# simulations. Findings (and documented suppressions) land in
+# VET_findings.txt so CI can publish them next to the bench artifact.
+echo "==> tlbvet (typed static analysis)"
+if ! go run ./cmd/tlbvet -suppressions > VET_findings.txt 2>&1; then
+    cat VET_findings.txt
+    exit 1
+fi
+cat VET_findings.txt
+
 echo "==> tlbcheck (sanitized experiment suite)"
 go run ./cmd/tlbcheck -quick -v
 
