@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet sanitize racemodel fuzz bench check clean
+.PHONY: all build test race lint vet sanitize racemodel faultcheck fuzz cover bench check clean
 
 all: build
 
@@ -35,16 +35,27 @@ sanitize:
 racemodel:
 	$(GO) run ./cmd/tlbcheck -race-model -quick -v
 
+## faultcheck: sanitizer + HB race model over the suite under fault injection
+faultcheck:
+	$(GO) run ./cmd/tlbcheck -quick -faults light -v
+	$(GO) run ./cmd/tlbcheck -race-model -quick -faults light -v
+
 ## fuzz: randomized coherence fuzzing with the sanitizer attached
 fuzz:
 	$(GO) run ./cmd/tlbfuzz -runs 50
+	$(GO) run ./cmd/tlbfuzz -runs 25 -faults heavy
+
+## cover: coverage summary for the fault plane and the layers it perturbs
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/
+	$(GO) tool cover -func=coverage.out
 
 ## bench: parallel-harness wall-clock + event-loop allocs -> BENCH_parallel.json
 bench:
 	./scripts/bench.sh
 
-## check: everything CI runs (build, tests, race, lint, sanitizer, HB model)
-check: build test race lint sanitize racemodel
+## check: everything CI runs (build, tests, race, lint, sanitizer, HB model, faults)
+check: build test race lint sanitize racemodel faultcheck
 
 clean:
 	$(GO) clean ./...

@@ -32,6 +32,7 @@
 //	tlbcheck -quick              # CI-sized runs
 //	tlbcheck -run fig6,table3    # specific experiments
 //	tlbcheck -race-model         # happens-before race check of the suite
+//	tlbcheck -faults light       # sanitize under an injected fault schedule
 //	tlbcheck -lint ./...         # syntactic static analyzers only
 //	tlbcheck -vet                # typed static analyzers only
 package main
@@ -43,6 +44,7 @@ import (
 	"strings"
 
 	"shootdown/internal/experiments"
+	"shootdown/internal/fault"
 	"shootdown/internal/race"
 	"shootdown/internal/sanitizer"
 	"shootdown/internal/sanitizer/lint"
@@ -60,9 +62,16 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "deterministic simulation seed")
 		verbose   = flag.Bool("v", false, "print per-experiment progress")
 		parallel  = flag.Int("parallel", 0, "experiment-cell worker count (0 = GOMAXPROCS); reports are identical at any setting")
+		faults    = flag.String("faults", "none", "fault schedule for every simulated machine: a preset (none, light, heavy, drop, broken) and/or key=p[:max] overrides, e.g. 'light,drop=0.3'")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
+
+	faultSpec, err := fault.Parse(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlbcheck: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *doLint {
 		os.Exit(runLint(flag.Args()))
@@ -71,9 +80,9 @@ func main() {
 		os.Exit(runVet())
 	}
 	if *raceModel {
-		os.Exit(runRaceModel(*run, *quick, *seed, *verbose))
+		os.Exit(runRaceModel(*run, *quick, *seed, *verbose, faultSpec))
 	}
-	os.Exit(runSanitized(*run, *quick, *seed, *verbose))
+	os.Exit(runSanitized(*run, *quick, *seed, *verbose, faultSpec))
 }
 
 func runVet() int {
@@ -110,12 +119,12 @@ func runLint(patterns []string) int {
 	return 0
 }
 
-func runSanitized(run string, quick bool, seed uint64, verbose bool) int {
+func runSanitized(run string, quick bool, seed uint64, verbose bool, faults fault.Spec) int {
 	names := experiments.Names()
 	if !strings.EqualFold(run, "all") {
 		names = strings.Split(run, ",")
 	}
-	opts := experiments.Options{Quick: quick, Seed: seed, Sanitize: true}
+	opts := experiments.Options{Quick: quick, Seed: seed, Sanitize: true, Faults: faults}
 	summaries := make([]*sanitizer.Summary, 0, len(names))
 	total := &sanitizer.Summary{}
 	for _, name := range names {
@@ -146,12 +155,12 @@ func runSanitized(run string, quick bool, seed uint64, verbose bool) int {
 	return 0
 }
 
-func runRaceModel(run string, quick bool, seed uint64, verbose bool) int {
+func runRaceModel(run string, quick bool, seed uint64, verbose bool, faults fault.Spec) int {
 	names := experiments.Names()
 	if !strings.EqualFold(run, "all") {
 		names = strings.Split(run, ",")
 	}
-	opts := experiments.Options{Quick: quick, Seed: seed}
+	opts := experiments.Options{Quick: quick, Seed: seed, Faults: faults}
 	total := &race.Summary{}
 	for _, name := range names {
 		name = strings.TrimSpace(name)

@@ -4,10 +4,17 @@
 // verifies at the end that no actively running CPU holds a translation
 // that contradicts the page tables.
 //
-// Every failure is reproducible from its seed:
+// With -faults it additionally runs every seed under a deterministic
+// fault schedule (IPI drops/delays, responder stalls, TLB evictions,
+// PCID recycling, preemption storms — see internal/fault), exercising the
+// shootdown retry/degradation recovery path under the same oracles.
+//
+// Every failure is reproducible from its seed and fault schedule:
 //
 //	tlbfuzz -runs 200
 //	tlbfuzz -seed 12345 -v
+//	tlbfuzz -runs 200 -faults heavy
+//	tlbfuzz -faults drop,noretry -seed 12345 -parallel 1   # replay one schedule
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"shootdown/internal/core"
 	"shootdown/internal/daemons"
+	"shootdown/internal/fault"
 	"shootdown/internal/kernel"
 	"shootdown/internal/mach"
 	"shootdown/internal/mm"
@@ -38,9 +46,16 @@ func main() {
 		ops      = flag.Int("ops", 120, "operations per worker thread")
 		verbose  = flag.Bool("v", false, "print per-run summaries")
 		parallel = flag.Int("parallel", 0, "seeds fuzzed concurrently (0 = GOMAXPROCS); each seed is an isolated simulation")
+		faults   = flag.String("faults", "none", "fault schedule per run: a preset (none, light, heavy, drop, broken) and/or key=p[:max] overrides")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
+
+	spec, err := fault.Parse(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlbfuzz: %v\n", err)
+		os.Exit(2)
+	}
 
 	seeds := make([]uint64, 0, *runs)
 	if *seed != 0 {
@@ -59,7 +74,7 @@ func main() {
 		summary string
 	}
 	results := sched.Collect(len(seeds), func(i int) result {
-		errs, summary := fuzzOne(seeds[i], *ops, *verbose)
+		errs, summary := fuzzOne(seeds[i], *ops, *verbose, spec)
 		return result{errs, summary}
 	})
 	failures := 0
@@ -69,7 +84,7 @@ func main() {
 		}
 		if len(res.errs) > 0 {
 			failures++
-			fmt.Fprintf(os.Stderr, "FAIL seed=%d (repro: tlbfuzz -seed %d -ops %d -parallel 1):\n", seeds[i], seeds[i], *ops)
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d (repro: %s):\n", seeds[i], reproLine(seeds[i], *ops, spec))
 			for _, e := range res.errs {
 				fmt.Fprintf(os.Stderr, "  %s\n", e)
 			}
@@ -114,7 +129,13 @@ func randomConfig(r *sim.Rand) core.Config {
 	}
 }
 
-func fuzzOne(seed uint64, opsPerThread int, verbose bool) (errs []string, summary string) {
+// reproLine renders the one-line command that replays a failing run
+// byte-identically: same seed, same ops, same fault schedule, one worker.
+func reproLine(seed uint64, ops int, spec fault.Spec) string {
+	return fmt.Sprintf("tlbfuzz -faults %s -seed %d -ops %d -parallel 1", spec, seed, ops)
+}
+
+func fuzzOne(seed uint64, opsPerThread int, verbose bool, spec fault.Spec) (errs []string, summary string) {
 	r := sim.NewRand(seed)
 	cfg := randomConfig(r)
 	pti := r.Uint64()&1 == 0
@@ -129,6 +150,11 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool) (errs []string, summar
 	// every run alongside the shadow-oracle coherence check below.
 	rd := race.New(eng)
 	k.EnableRace(rd)
+	var pl *fault.Plane
+	if !spec.Zero() || spec.NoRetry {
+		pl = fault.New(seed, spec)
+		k.SetFaultPlane(pl)
+	}
 	f, err := core.NewFlusher(k, cfg)
 	if err != nil {
 		return []string{err.Error()}, ""
@@ -256,9 +282,16 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool) (errs []string, summar
 		cst := chk.Stats()
 		// Returned, not printed: the caller emits summaries in seed order
 		// so parallel sweeps read identically to serial ones.
-		summary = fmt.Sprintf("seed=%d cfg=%s pti=%v workers=%d: shootdowns=%d remote(sel=%d full=%d skip=%d) checked(hits=%d windows=%d) hb(acq=%d rel=%d races=%d) errs=%d\n",
+		summary = fmt.Sprintf("seed=%d cfg=%s pti=%v workers=%d: shootdowns=%d remote(sel=%d full=%d skip=%d) checked(hits=%d windows=%d) hb(acq=%d rel=%d races=%d) errs=%d",
 			seed, cfg, pti, nworkers, st.Shootdowns, st.RemoteSelective, st.RemoteFull, st.RemoteSkipped, cst.TLBHits, cst.ObligationsOpened,
 			rsum.Stats.Acquires, rsum.Stats.Releases, len(rsum.Races), len(errs))
+		if pl != nil {
+			fs := pl.Stats()
+			ss := k.SMP.Stats()
+			summary += fmt.Sprintf(" faults(drop=%d forced=%d delay=%d stall=%d) recovery(timeouts=%d rekicks=%d degraded=%d)",
+				fs.Drops, fs.ForcedDeliveries, fs.Delays, fs.Stalls, ss.AckTimeouts, ss.Rekicks, ss.DegradedFulls)
+		}
+		summary += "\n"
 	}
 	return errs, summary
 }

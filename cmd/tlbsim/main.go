@@ -7,6 +7,8 @@
 //	tlbsim -exp fig6
 //	tlbsim -exp all -quick
 //	tlbsim -exp table4 -csv
+//	tlbsim -exp faults -quick        # fault-injection sweep
+//	tlbsim -exp fig6 -faults light   # any experiment under a fault schedule
 package main
 
 import (
@@ -16,7 +18,9 @@ import (
 	"strings"
 
 	"shootdown/internal/experiments"
+	"shootdown/internal/fault"
 	"shootdown/internal/sched"
+	"shootdown/internal/workload"
 )
 
 func main() {
@@ -27,9 +31,22 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list     = flag.Bool("list", false, "list available experiments")
 		parallel = flag.Int("parallel", 0, "experiment-cell worker count (0 = GOMAXPROCS); output is identical at any setting")
+		faults   = flag.String("faults", "none", "fault schedule for every simulated machine: a preset (none, light, heavy, drop, broken) and/or key=p[:max] overrides")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
+
+	spec, err := fault.Parse(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlbsim: %v\n", err)
+		os.Exit(2)
+	}
+	if !spec.Zero() || spec.NoRetry {
+		// Installed once, before any experiment boots a world; restored on
+		// exit only for symmetry — the process ends right after.
+		restore := workload.SetFaultSpec(spec)
+		defer restore()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -10,6 +10,7 @@
 package apic
 
 import (
+	"shootdown/internal/fault"
 	"shootdown/internal/mach"
 	"shootdown/internal/sim"
 )
@@ -118,6 +119,12 @@ type Stats struct {
 	IPIsDelivered uint64
 	// MulticastSends is the number of SendIPI calls with >1 target.
 	MulticastSends uint64
+	// IPIsDropped counts shootdown kicks the fault plane lost in the
+	// fabric (the initiator paid the ICR write; nothing arrives).
+	IPIsDropped uint64
+	// IPIsDelayed counts deliveries the fault plane slowed beyond the
+	// topology wire latency.
+	IPIsDelayed uint64
 }
 
 // Bus is the IPI fabric connecting all controllers.
@@ -126,8 +133,13 @@ type Bus struct {
 	topo  mach.Topology
 	cost  *mach.CostModel
 	ctrls []*Controller
+	fault *fault.Plane
 	stats Stats
 }
+
+// SetFaultPlane attaches the fault plane; nil detaches it. With no plane
+// every delivery takes exactly the topology wire latency.
+func (b *Bus) SetFaultPlane(pl *fault.Plane) { b.fault = pl }
 
 // NewBus creates the fabric and one controller per logical CPU.
 func NewBus(eng *sim.Engine, topo mach.Topology, cost *mach.CostModel) *Bus {
@@ -180,6 +192,21 @@ func (b *Bus) SendNMI(p *sim.Proc, from, to mach.CPU) {
 
 func (b *Bus) deliverAfter(from, to mach.CPU, vec Vector) {
 	lat := b.cost.IPIDeliverCost(b.topo.DistanceBetween(from, to))
+	// Fault plane: only the shootdown kick is droppable — the request
+	// stays queued on the target's CSQ, so a lost kick is recoverable by
+	// re-sending. NMIs are never perturbed (the early-ack protocol's
+	// correctness leans on their promptness), and reschedule kicks are
+	// scheduler traffic, not shootdown protocol under test.
+	if vec == VectorCallFunction {
+		if b.fault.DropKick() {
+			b.stats.IPIsDropped++
+			return
+		}
+		if d := b.fault.DeliverDelay(); d > 0 {
+			b.stats.IPIsDelayed++
+			lat += d
+		}
+	}
 	sent := b.eng.Now()
 	b.eng.After(lat, func() {
 		b.stats.IPIsDelivered++

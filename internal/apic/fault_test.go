@@ -1,0 +1,130 @@
+package apic
+
+import (
+	"testing"
+
+	"shootdown/internal/fault"
+	"shootdown/internal/mach"
+	"shootdown/internal/sim"
+)
+
+func TestFaultPlaneDropsShootdownKicksOnly(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := newBus(eng)
+	b.SetFaultPlane(fault.New(7, fault.Spec{DropP: 1, DropBurstMax: 64}))
+	eng.Go("sender", func(p *sim.Proc) {
+		// Shootdown kicks are droppable; NMIs and reschedule kicks never are.
+		b.SendIPI(p, 0, mach.MaskOf(2), VectorCallFunction)
+		b.SendIPI(p, 0, mach.MaskOf(3), VectorReschedule)
+		b.SendNMI(p, 0, 4)
+	})
+	eng.Run()
+	s := b.Stats()
+	if s.IPIsDropped != 1 {
+		t.Fatalf("IPIsDropped = %d, want 1 (only the call-function kick)", s.IPIsDropped)
+	}
+	if s.IPIsDelivered != 2 {
+		t.Fatalf("IPIsDelivered = %d, want 2 (resched + NMI)", s.IPIsDelivered)
+	}
+	if b.Controller(2).Pending() != 0 {
+		t.Fatal("dropped kick still arrived")
+	}
+	if b.Controller(3).Pending() != 1 || b.Controller(4).Pending() != 1 {
+		t.Fatal("non-shootdown vectors were perturbed")
+	}
+	// The sender still paid for every ICR write: the fault is in the
+	// fabric, not in the initiator's view of its own send.
+	if s.ICRWrites != 3 {
+		t.Fatalf("ICRWrites = %d, want 3", s.ICRWrites)
+	}
+}
+
+func TestFaultPlaneDropBurstBounded(t *testing.T) {
+	// At DropP=1 the burst bound forces delivery after DropBurstMax
+	// consecutive losses, so retry loops always terminate.
+	eng := sim.NewEngine(1)
+	b := newBus(eng)
+	pl := fault.New(7, fault.Spec{DropP: 1, DropBurstMax: 3})
+	b.SetFaultPlane(pl)
+	eng.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			b.SendIPI(p, 0, mach.MaskOf(2), VectorCallFunction)
+		}
+	})
+	eng.Run()
+	s := b.Stats()
+	if s.IPIsDropped != 3 || s.IPIsDelivered != 1 {
+		t.Fatalf("dropped=%d delivered=%d, want 3 drops then 1 forced delivery", s.IPIsDropped, s.IPIsDelivered)
+	}
+	if pl.Stats().ForcedDeliveries != 1 {
+		t.Fatalf("ForcedDeliveries = %d, want 1", pl.Stats().ForcedDeliveries)
+	}
+}
+
+func TestFaultPlaneDelaysDelivery(t *testing.T) {
+	deliveredAt := func(pl *fault.Plane) sim.Time {
+		eng := sim.NewEngine(1)
+		b := newBus(eng)
+		b.SetFaultPlane(pl)
+		var at sim.Time
+		b.Controller(2).SetNotify(func() { at = eng.Now() })
+		eng.Go("sender", func(p *sim.Proc) {
+			b.SendIPI(p, 0, mach.MaskOf(2), VectorCallFunction)
+		})
+		eng.Run()
+		return at
+	}
+	clean := deliveredAt(nil)
+	pl := fault.New(7, fault.Spec{DelayP: 1, DelayMax: 10_000})
+	slow := deliveredAt(pl)
+	if slow <= clean {
+		t.Fatalf("delayed delivery at %d, not after clean delivery %d", slow, clean)
+	}
+	if pl.Stats().Delays != 1 {
+		t.Fatalf("plane Delays = %d, want 1", pl.Stats().Delays)
+	}
+}
+
+func TestFaultedDeliveryDeterministic(t *testing.T) {
+	// Same (seed, spec) → same drop/delay sequence, independent of
+	// anything outside the plane.
+	run := func() (Stats, fault.Stats) {
+		eng := sim.NewEngine(1)
+		b := newBus(eng)
+		pl := fault.New(99, fault.Spec{DropP: 0.5, DelayP: 0.5, DelayMax: 5_000})
+		b.SetFaultPlane(pl)
+		eng.Go("sender", func(p *sim.Proc) {
+			for i := 0; i < 32; i++ {
+				b.SendIPI(p, 0, mach.MaskOf(2, 30), VectorCallFunction)
+			}
+		})
+		eng.Run()
+		return b.Stats(), pl.Stats()
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if s1 != s2 || f1 != f2 {
+		t.Fatalf("faulted runs diverged:\n  bus %+v vs %+v\n  plane %+v vs %+v", s1, s2, f1, f2)
+	}
+	if s1.IPIsDropped == 0 || s1.IPIsDelayed == 0 {
+		t.Fatalf("p=0.5 schedule injected nothing over 64 sends: %+v", s1)
+	}
+}
+
+func TestMaskedAccessorAndNMIDeliverable(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := newBus(eng)
+	ctrl := b.Controller(6)
+	if ctrl.Masked() {
+		t.Fatal("controller born masked")
+	}
+	ctrl.SetMasked(true)
+	if !ctrl.Masked() {
+		t.Fatal("Masked() lost the mask")
+	}
+	eng.Go("sender", func(p *sim.Proc) { b.SendNMI(p, 0, 6) })
+	eng.Run()
+	if !ctrl.Deliverable() {
+		t.Fatal("pending NMI not deliverable under mask")
+	}
+}

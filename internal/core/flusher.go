@@ -33,6 +33,15 @@ type FlushInfo struct {
 	Full bool
 }
 
+// DegradeToFull widens the descriptor to a full flush (smp.Degradable).
+// The recovery path invokes it when precise-range retries keep timing
+// out; because the IPI path shares one *FlushInfo across all of a
+// shootdown's requests, degrading once upgrades every responder that has
+// not yet run, and a full flush subsumes any range at any generation.
+func (fi *FlushInfo) DegradeToFull() { fi.Full = true }
+
+var _ smp.Degradable = (*FlushInfo)(nil)
+
 // Flusher implements kernel.Flusher: the baseline Linux shootdown protocol
 // plus the paper's optimizations, selected by Config.
 type Flusher struct {

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"shootdown/internal/core"
+	"shootdown/internal/fault"
 	"shootdown/internal/mach"
 	"shootdown/internal/pagetable"
 	"shootdown/internal/report"
@@ -30,6 +31,11 @@ type Options struct {
 	// internal/sanitizer) to every machine the experiment boots. Only
 	// honoured by Run; direct Runner calls stay unchecked.
 	Sanitize bool
+	// Faults is the fault schedule injected into every machine the
+	// experiment boots (zero injects nothing). Honoured by Run and
+	// RunRace, which install it as the package-wide workload spec for the
+	// duration of the experiment; direct Runner calls stay unfaulted.
+	Faults fault.Spec
 }
 
 // DefaultOptions returns the full-scale settings.
@@ -63,6 +69,7 @@ func Registry() map[string]Runner {
 		// out (see EXPERIMENTS.md).
 		"extensions": Extensions,
 		"daemons":    Daemons,
+		"faults":     FaultSweep,
 	}
 }
 

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"shootdown/internal/sched"
+)
+
+// TestFaultSweepDeterministicAtAnyWorkerCount is the golden contract for
+// the fault report: the rendered tables — digests, injected-fault counts
+// and recovery counters included — are byte-identical at one worker and
+// at eight. Fault injection is keyed by (seed, site, occurrence), never
+// by host scheduling, so parallelism must not leak into the report.
+func TestFaultSweepDeterministicAtAnyWorkerCount(t *testing.T) {
+	for _, seed := range []uint64{1, 42} {
+		prev := sched.SetWorkers(1)
+		serial := renderSuite([]string{"faults"}, seed)
+		sched.SetWorkers(8)
+		parallel := renderSuite([]string{"faults"}, seed)
+		sched.SetWorkers(prev)
+		if !bytes.Equal(serial, parallel) {
+			sl := bytes.Split(serial, []byte("\n"))
+			pl := bytes.Split(parallel, []byte("\n"))
+			for i := 0; i < len(sl) && i < len(pl); i++ {
+				if !bytes.Equal(sl[i], pl[i]) {
+					t.Fatalf("seed %d: fault report diverges at line %d:\n  workers=1: %s\n  workers=8: %s",
+						seed, i+1, sl[i], pl[i])
+				}
+			}
+			t.Fatalf("seed %d: report lengths differ: %d vs %d bytes", seed, len(serial), len(parallel))
+		}
+	}
+}
+
+// TestFaultSweepContent checks the report's semantics: fault-free rows
+// inject nothing, the drop schedule actually exercises drop + recovery,
+// and every digest matches its fault-free baseline.
+func TestFaultSweepContent(t *testing.T) {
+	tabs := FaultSweep(Options{Quick: true, Seed: 1})
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tabs))
+	}
+	inj, rec := tabs[0], tabs[1]
+
+	num := func(t2 *testing.T, row []string, col int) uint64 {
+		t2.Helper()
+		v, err := strconv.ParseUint(row[col], 10, 64)
+		if err != nil {
+			t2.Fatalf("cell %d (%q) not a count: %v", col, row[col], err)
+		}
+		return v
+	}
+
+	// Injection table: mode faults scenario digest match d f dl st ad ev rc pr
+	sawDropRowWithDrops := false
+	for _, row := range inj.Rows {
+		if row[4] != "yes" {
+			t.Errorf("%s/%s/%s: digest mismatch against fault-free run", row[0], row[1], row[2])
+		}
+		injected := uint64(0)
+		for col := 5; col <= 12; col++ {
+			injected += num(t, row, col)
+		}
+		switch row[1] {
+		case "none":
+			if injected != 0 {
+				t.Errorf("%s/%s: fault-free row injected %d faults", row[0], row[2], injected)
+			}
+		case "drop":
+			if num(t, row, 5) > 0 {
+				sawDropRowWithDrops = true
+			}
+		}
+	}
+	if !sawDropRowWithDrops {
+		t.Error("no drop-schedule row recorded any dropped kick")
+	}
+
+	// Recovery table: mode faults scenario ipid ipidl to rk degr stall
+	sawRecovery := false
+	for _, row := range rec.Rows {
+		dropped, timeouts, rekicks := num(t, row, 3), num(t, row, 5), num(t, row, 6)
+		if row[1] == "none" && (dropped != 0 || timeouts != 0 || rekicks != 0) {
+			t.Errorf("%s/%s: fault-free row shows recovery activity: %v", row[0], row[2], row)
+		}
+		if row[1] == "drop" && dropped > 0 && timeouts > 0 && rekicks > 0 {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Error("drop schedule never drove the timeout/rekick recovery path")
+	}
+}

@@ -22,6 +22,12 @@ func Run(name string, o Options) ([]*report.Table, *sanitizer.Summary, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
+	// Install the fault schedule before any world boots; the pool is idle
+	// here, which is SetFaultSpec's parallel-safety precondition.
+	if !o.Faults.Zero() || o.Faults.NoRetry {
+		restore := workload.SetFaultSpec(o.Faults)
+		defer restore()
+	}
 	if !o.Sanitize {
 		return runner(o), nil, nil
 	}

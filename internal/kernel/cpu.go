@@ -255,6 +255,16 @@ func (c *CPU) switchMM(p *sim.Proc, as *mm.AddressSpace, wasIdle bool) {
 		if c.K.Cfg.DisablePCID {
 			// The flush synchronized us with every generation.
 			c.SetLocalGen(as, as.Gen())
+		} else if c.K.Fault.PCIDRecycle() {
+			// Fault plane: the PCID allocator recycled this mm's contexts
+			// while it was switched out, so its tagged entries are gone and
+			// the generation state is cold — the switch pays a full reload
+			// and the CatchUpGen below resynchronizes from zero. Coherence
+			// is unaffected (entries are only removed).
+			p.Delay(c.K.Cost.CR3WriteFlush)
+			c.TLB.FlushPCID(as.KernelPCID)
+			c.TLB.FlushPCID(as.UserPCID)
+			c.SetLocalGen(as, 0)
 		}
 	}
 	if !same || wasIdle {
@@ -323,6 +333,11 @@ func (c *CPU) ServiceIRQs(p *sim.Proc) {
 			return
 		}
 		start := p.Now()
+		// Fault plane: the responder took the interrupt but dispatch is
+		// delayed (SMI, deep C-state exit, host preemption of a vCPU).
+		if d := c.K.Fault.ResponderStall(); d > 0 {
+			p.Delay(d)
+		}
 		fromUser := c.inUser
 		c.inUser = false
 		if fromUser {
@@ -390,6 +405,19 @@ func (c *CPU) WaitRequests(p *sim.Proc, reqs []*smp.Request) {
 	for _, r := range reqs {
 		cancels = append(cancels, r.AddDoneHook(func() { c.wake.Broadcast() }))
 	}
+	// Recovery path (armed only when a fault plane is attached and not
+	// deliberately broken): bound each sleep by a timeout; on expiry with
+	// acks outstanding, suspect a lost kick — re-kick with exponential
+	// backoff, and after MaxKickRetries escalations degrade the remaining
+	// precise flushes to full flushes (over-flushing is always coherent).
+	// Termination: the fabric's drop-burst bound forces every
+	// (burst+1)-th kick through, so some rekick eventually lands, the
+	// responder drains its CSQ, and AllDone flips. Unarmed runs take
+	// exactly the pre-recovery wait path, cycle-identically.
+	armed := c.K.Fault.RecoveryArmed()
+	timeout := c.K.Cost.IPIAckTimeout
+	retries := 0
+	waitStart := p.Now()
 	for {
 		c.ServiceIRQs(p)
 		p.Delay(c.K.Cost.SpinPoll)
@@ -401,7 +429,24 @@ func (c *CPU) WaitRequests(p *sim.Proc, reqs []*smp.Request) {
 		if c.Ctrl.Deliverable() {
 			continue
 		}
-		c.wake.Wait(p)
+		if !armed {
+			c.wake.Wait(p)
+			continue
+		}
+		if c.wake.WaitTimeout(p, timeout) {
+			continue
+		}
+		c.K.SMP.NoteAckTimeout()
+		retries++
+		if retries <= smp.MaxKickRetries {
+			timeout *= 2
+		} else if retries == smp.MaxKickRetries+1 {
+			c.K.SMP.DegradeToFull(reqs)
+		}
+		c.K.SMP.Rekick(p, c.ID, reqs)
+	}
+	if armed {
+		c.K.SMP.NoteAckStall(uint64(p.Now() - waitStart))
 	}
 	for i := len(cancels) - 1; i >= 0; i-- {
 		cancels[i]()

@@ -16,6 +16,7 @@ import (
 
 	"shootdown/internal/apic"
 	"shootdown/internal/cache"
+	"shootdown/internal/fault"
 	"shootdown/internal/mach"
 	"shootdown/internal/mm"
 	"shootdown/internal/pagetable"
@@ -110,6 +111,12 @@ type Kernel struct {
 	// internal/race). All hooks are observational: a race-checked run is
 	// cycle-identical to an unchecked one.
 	Race *race.Detector
+
+	// Fault, when non-nil, is the attached fault-injection plane (see
+	// internal/fault). Unlike the observational hooks it deliberately
+	// perturbs timing; a faulted run must still converge to the fault-free
+	// final state, which is what the metamorphic tests check.
+	Fault *fault.Plane
 
 	// ASHook, when non-nil, observes every address space created through
 	// the kernel (NewAddressSpace and ForkAddressSpace, after the child's
@@ -232,6 +239,16 @@ func (k *Kernel) ForkAddressSpace(parent *mm.AddressSpace) (*mm.AddressSpace, mm
 func (k *Kernel) EnableRace(d *race.Detector) {
 	k.Race = d
 	k.SMP.SetRaceDetector(d)
+}
+
+// SetFaultPlane attaches the fault-injection plane to the machine (the
+// IPI fabric, the SMP ack path, and the kernel's own injection sites all
+// consult it) and arms the shootdown recovery path unless the plane's
+// spec says NoRetry. Call before Start; nil detaches.
+func (k *Kernel) SetFaultPlane(pl *fault.Plane) {
+	k.Fault = pl
+	k.Bus.SetFaultPlane(pl)
+	k.SMP.SetFaultPlane(pl)
 }
 
 // EnableTrace attaches a protocol-event recorder (see internal/trace) and

@@ -92,4 +92,9 @@ func (k *Kernel) chargeEntry(p *sim.Proc) {
 	if k.Cfg.PTI {
 		p.Delay(k.Cost.PTITrampoline)
 	}
+	// Fault plane: kernel entry is the preemption point — a daemon storm
+	// or sibling thread steals the CPU here before the syscall body runs.
+	if d := k.Fault.PreemptDelay(); d > 0 {
+		p.Delay(d)
+	}
 }

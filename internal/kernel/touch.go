@@ -72,6 +72,11 @@ func (c *CPU) fillTLB(pcid tlb.PCID, tr pagetable.Translation) {
 		Size:   tr.Size,
 		Global: tr.Flags.Has(pagetable.Global),
 	})
+	// Fault plane: conflict pressure evicts the entry right back out. The
+	// next access re-walks — pure slowdown, never a coherence hazard.
+	if c.K.Fault.EvictOnFill() {
+		c.TLB.EvictPage(pcid, tr.VA)
+	}
 }
 
 func permits(f pagetable.Flags, access mm.Access) bool {

@@ -76,6 +76,13 @@ type CostModel struct {
 	// nmi_uaccess_okay check the paper extends (§3.2); the handler is
 	// already expensive, so the added check is negligible.
 	NMIHandler uint64
+	// IPIAckTimeout is the initiator's patience while waiting for
+	// shootdown acknowledgements before suspecting a lost or stalled kick
+	// and re-sending it (exponential backoff doubles it per retry, see
+	// internal/smp). Only consulted when a fault plane arms the recovery
+	// path; several times the worst-case delivery + drain latency so it
+	// never fires on a healthy machine.
+	IPIAckTimeout uint64
 
 	// --- Kernel entry/exit ---
 
@@ -143,6 +150,7 @@ func DefaultCosts() *CostModel {
 		IRQEntryUser:     550,
 		IRQExit:          380,
 		NMIHandler:       900,
+		IPIAckTimeout:    40_000,
 
 		SyscallEntry:  90,
 		SyscallExit:   110,

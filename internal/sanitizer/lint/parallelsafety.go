@@ -25,10 +25,11 @@ import (
 //     written only while the scheduler pool is idle).
 var parallelScope = []string{
 	"internal/apic/", "internal/cache/", "internal/core/",
-	"internal/daemons/", "internal/kernel/", "internal/mach/",
-	"internal/mm/", "internal/pagetable/", "internal/sim/",
-	"internal/smp/", "internal/stats/", "internal/syscalls/",
-	"internal/tlb/", "internal/virt/", "internal/workload/",
+	"internal/daemons/", "internal/fault/", "internal/kernel/",
+	"internal/mach/", "internal/mm/", "internal/pagetable/",
+	"internal/sim/", "internal/smp/", "internal/stats/",
+	"internal/syscalls/", "internal/tlb/", "internal/virt/",
+	"internal/workload/",
 }
 
 func inParallelScope(rel string) bool {

@@ -111,13 +111,17 @@ type obKey struct {
 }
 
 // obligation is an open (or the most recently closed) flush window for a
-// restrictive PTE change.
+// restrictive PTE change. kind/old/cpu/at describe the *latest* restrictive
+// change folded into the window: when a second change lands on a page whose
+// window is still open (e.g. writeback write-protecting a page another CPU
+// just CoW-remapped), the obligation is re-blamed to the later changer —
+// only that CPU's covering flush (or return to user) may close the window.
 type obligation struct {
 	key      obKey
 	size     pagetable.Size
 	kind     string
 	old      pagetable.PTE
-	cpu      int // creator CPU, -1 if the change came from outside a CPU proc
+	cpu      int // CPU of the latest change, -1 if from outside a CPU proc
 	at       sim.Time
 	merged   int // further restrictive changes folded into this window
 	closedAt sim.Time
@@ -151,6 +155,7 @@ type Checker struct {
 	byPCID  map[tlb.PCID]pcidRef
 	open    map[obKey]*obligation
 	closed  map[obKey]*obligation
+	begins  map[*core.FlushInfo]sim.Time
 	procCPU map[*sim.Proc]int
 	seen    map[vioKey]bool
 	reqs    []reqRec
@@ -178,6 +183,7 @@ func Attach(k *kernel.Kernel, f *core.Flusher, cfg Config) *Checker {
 		byPCID:  make(map[tlb.PCID]pcidRef),
 		open:    make(map[obKey]*obligation),
 		closed:  make(map[obKey]*obligation),
+		begins:  make(map[*core.FlushInfo]sim.Time),
 		procCPU: make(map[*sim.Proc]int),
 		seen:    make(map[vioKey]bool),
 	}
@@ -206,8 +212,11 @@ func Attach(k *kernel.Kernel, f *core.Flusher, cfg Config) *Checker {
 	}
 	if f != nil {
 		f.SetProbe(&core.Probe{
-			ShootBegin: func(cpu mach.CPU, info *core.FlushInfo) { c.stats.Shootdowns++ },
-			ShootEnd:   c.onShootEnd,
+			ShootBegin: func(cpu mach.CPU, info *core.FlushInfo) {
+				c.stats.Shootdowns++
+				c.begins[info] = k.Eng.Now()
+			},
+			ShootEnd: c.onShootEnd,
 		})
 		if m := f.IPIMutex(); m != nil {
 			m.SetObserver(c.locks.observer())
@@ -292,7 +301,13 @@ func (c *Checker) onChange(sh *shadow, ch pagetable.Change) {
 	c.stats.RestrictiveChanges++
 	key := obKey{sh.as.ID, ch.VA}
 	if ob, ok := c.open[key]; ok {
+		// The window is re-blamed to this change: an already-running
+		// shootdown sampled the page tables before it and cannot cover it,
+		// so only a flush begun from here on (or the changer's own return
+		// to user) may close the window.
 		ob.merged++
+		ob.kind, ob.old = kind, ch.Old
+		ob.cpu, ob.at = c.currentCPU(), c.K.Eng.Now()
 		return
 	}
 	c.stats.ObligationsOpened++
@@ -329,6 +344,11 @@ func (c *Checker) onShootEnd(cpu mach.CPU, info *core.FlushInfo) {
 	closedBy := fmt.Sprintf("shootdown (initiator cpu%d, gen %d, range [%#x,%#x), full=%v)",
 		cpu, info.NewGen, info.Start, info.End, info.Full)
 	now := c.K.Eng.Now()
+	beginAt, tracked := c.begins[info]
+	delete(c.begins, info)
+	if !tracked {
+		beginAt = now
+	}
 	for key, ob := range c.open {
 		if key.mm != info.AS.ID {
 			continue
@@ -338,6 +358,12 @@ func (c *Checker) onShootEnd(cpu mach.CPU, info *core.FlushInfo) {
 			if end <= info.Start || key.va >= info.End {
 				continue
 			}
+		}
+		// A shootdown covers only changes made before it began: a change
+		// that raced in afterwards (merged into this window) keeps the
+		// window open until its own covering flush completes.
+		if ob.at > beginAt {
+			continue
 		}
 		ob.closedAt = now
 		ob.closedBy = closedBy

@@ -22,10 +22,26 @@ import (
 
 	"shootdown/internal/apic"
 	"shootdown/internal/cache"
+	"shootdown/internal/fault"
 	"shootdown/internal/mach"
 	"shootdown/internal/race"
 	"shootdown/internal/sim"
 )
+
+// MaxKickRetries bounds the exponential-backoff re-kick sequence of the
+// shootdown recovery path: after this many timed-out retries the
+// initiator degrades outstanding requests to a full flush (losing
+// precision, never correctness) and keeps re-kicking at the capped
+// timeout until the burst-bounded fabric delivers. See kernel.WaitRequests.
+const MaxKickRetries = 3
+
+// Degradable is a request payload that can widen itself to a full TLB
+// flush. The recovery path invokes it when precise-range retries keep
+// timing out: a full flush subsumes any range, so over-flushing under
+// suspected IPI loss trades performance for unconditional coherence.
+type Degradable interface {
+	DegradeToFull()
+}
 
 // HandlerFunc runs on the target CPU in interrupt context. p is the target
 // CPU's process; payload is the request payload.
@@ -89,6 +105,17 @@ type Stats struct {
 	KicksElided uint64
 	// EarlyAcks / LateAcks split acknowledgements by protocol.
 	EarlyAcks, LateAcks uint64
+	// AckTimeouts counts initiator waits that hit the IPIAckTimeout
+	// deadline with unacknowledged requests outstanding (recovery path).
+	AckTimeouts uint64
+	// Rekicks counts re-sent shootdown kicks after a timeout.
+	Rekicks uint64
+	// DegradedFulls counts recovery escalations that widened outstanding
+	// precise flushes to full flushes after MaxKickRetries timeouts.
+	DegradedFulls uint64
+	// MaxAckStall is the longest cycles any initiator spent waiting for
+	// acknowledgements on the recovery path.
+	MaxAckStall uint64
 }
 
 // Layer is the machine-wide SMP function-call subsystem.
@@ -113,6 +140,10 @@ type Layer struct {
 	// rt, when non-nil, receives happens-before events for every modeled
 	// synchronization edge in this layer (see internal/race).
 	rt *race.Detector
+
+	// fault, when non-nil, injects acknowledgement delays (and arms the
+	// recovery path in the kernel's wait loop).
+	fault *fault.Plane
 
 	// AckHook, when non-nil, observes every acknowledgement (used by the
 	// trace recorder).
@@ -155,6 +186,9 @@ func (l *Layer) Consolidated() bool { return l.consolidated }
 // SetRaceDetector attaches (or, with nil, detaches) the happens-before
 // checker. All reported events are observational; timing is unchanged.
 func (l *Layer) SetRaceDetector(d *race.Detector) { l.rt = d }
+
+// SetFaultPlane attaches the fault plane; nil detaches it.
+func (l *Layer) SetFaultPlane(pl *fault.Plane) { l.fault = pl }
 
 // ObserveDone records that the caller has observed req's acknowledgement,
 // establishing the ack→observe happens-before edge. Wait loops call it
@@ -413,7 +447,69 @@ func (l *Layer) HandleIPI(p *sim.Proc, cpu mach.CPU) {
 // PendingOn returns the number of queued requests for cpu (for tests).
 func (l *Layer) PendingOn(cpu mach.CPU) int { return len(l.percpu[cpu].queue) }
 
+// Rekick re-sends the shootdown kick for every unacknowledged request in
+// reqs (recovery path: the initiator's ack wait timed out, so a kick may
+// have been lost in the fabric or elided against a queue another
+// initiator's lost kick stranded). The requests are still on their CSQs —
+// only the doorbell is re-rung, so a spurious rekick of a merely slow
+// responder is harmless (the extra IRQ finds an empty queue).
+func (l *Layer) Rekick(p *sim.Proc, from mach.CPU, reqs []*Request) {
+	var kick mach.CPUMask
+	for _, r := range reqs {
+		if r.Done() {
+			continue
+		}
+		if l.rt != nil {
+			// Re-release the send edge: anything the initiator wrote since
+			// the original send (e.g. a degraded payload) happens-before
+			// the responder's handler run triggered by this kick.
+			l.rt.Release(r.hb)
+		}
+		kick.Set(r.target)
+	}
+	if kick.Empty() {
+		return
+	}
+	l.stats.Rekicks += uint64(kick.Count())
+	l.bus.SendIPI(p, from, kick, apic.VectorCallFunction)
+}
+
+// DegradeToFull widens the payload of every unacknowledged Degradable
+// request in reqs to a full flush (recovery escalation after
+// MaxKickRetries timed-out retries). Counted once per escalation event.
+func (l *Layer) DegradeToFull(reqs []*Request) {
+	degraded := false
+	for _, r := range reqs {
+		if r.Done() {
+			continue
+		}
+		if d, ok := r.Payload.(Degradable); ok {
+			d.DegradeToFull()
+			degraded = true
+		}
+	}
+	if degraded {
+		l.stats.DegradedFulls++
+	}
+}
+
+// NoteAckTimeout records one timed-out acknowledgement wait.
+func (l *Layer) NoteAckTimeout() { l.stats.AckTimeouts++ }
+
+// NoteAckStall records the total cycles one initiator spent waiting for
+// acks on the recovery path; the maximum is reported.
+func (l *Layer) NoteAckStall(cycles uint64) {
+	if cycles > l.stats.MaxAckStall {
+		l.stats.MaxAckStall = cycles
+	}
+}
+
 func (l *Layer) ack(p *sim.Proc, cpu mach.CPU, req *Request) {
+	// Fault plane: the responder reached the ack but its store is slow to
+	// land (write-buffer drain, SMI between handler and store).
+	if d := l.fault.AckDelay(); d > 0 {
+		p.Delay(d)
+	}
 	p.Delay(l.dir.Write(cpu, req.cfdLine))
 	if l.rt != nil {
 		// Ack edge: everything the responder did before acknowledging

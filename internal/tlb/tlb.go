@@ -221,6 +221,31 @@ func (t *TLB) Fill(pcid PCID, e Entry) {
 	}
 }
 
+// EvictPage silently drops any cached entries (both size classes, and
+// matching global entries) covering (pcid, va) — a spurious conflict
+// eviction, injected by the fault plane to model TLB pressure the
+// simulator's capacity rings would not produce on their own. Like capacity
+// evictions it fires no observer callback: evictions only ever shrink the
+// cached set, so no coherence obligation can depend on them.
+func (t *TLB) EvictPage(pcid PCID, va uint64) {
+	for _, k := range [...]entryKey{
+		{pcid, vpn4k(va)}, {globalSpace, vpn4k(va)},
+	} {
+		if _, ok := t.e4k[k]; ok {
+			delete(t.e4k, k)
+			t.stats.Evictions++
+		}
+	}
+	for _, k := range [...]entryKey{
+		{pcid, vpn2m(va)}, {globalSpace, vpn2m(va)},
+	} {
+		if _, ok := t.e2m[k]; ok {
+			delete(t.e2m, k)
+			t.stats.Evictions++
+		}
+	}
+}
+
 func (t *TLB) evict(m *map[entryKey]*Entry, ring *[]ringSlot, head *int) {
 	for *head < len(*ring) {
 		slot := (*ring)[*head]

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"shootdown/internal/core"
+	"shootdown/internal/fault"
 	"shootdown/internal/kernel"
 	"shootdown/internal/mach"
 	"shootdown/internal/sim"
@@ -20,6 +21,8 @@ type World struct {
 	Eng *sim.Engine
 	K   *kernel.Kernel
 	F   *core.Flusher
+	// Fault is the attached fault plane (nil on an unfaulted world).
+	Fault *fault.Plane
 }
 
 // Mode selects the paper's two evaluation setups.
@@ -59,13 +62,40 @@ func SetBootHook(fn func(*World)) (restore func()) {
 	return func() { bootHook = prev }
 }
 
+// worldFaults is the fault schedule applied to every world booted through
+// NewWorld (the zero Spec injects nothing). It parameterizes whole suites
+// — experiments, tlbcheck, tlbfuzz — without threading a spec through
+// every cell constructor.
+//
+// parallel-safe: SetFaultSpec is called only while the scheduler pool is
+// idle (before a suite's fan-out starts); during fan-out the spec is
+// read-only, and each world gets its own fault.Plane.
+var worldFaults fault.Spec
+
+// SetFaultSpec installs spec as the schedule for every subsequently booted
+// world and returns a restore function reinstating the previous one.
+func SetFaultSpec(spec fault.Spec) (restore func()) {
+	prev := worldFaults
+	worldFaults = spec
+	return func() { worldFaults = prev }
+}
+
 // Close shuts the world's engine down, unwinding every parked process
 // (idle CPU loops, the flusher) so their goroutines exit. Call it after
 // the last read of simulation state; the world is unusable afterwards.
 func (w *World) Close() { w.Eng.Shutdown() }
 
-// NewWorld boots a machine with the given safety mode and protocol config.
+// NewWorld boots a machine with the given safety mode and protocol config,
+// under the package-wide fault schedule (none by default).
 func NewWorld(mode Mode, cfg core.Config, seed uint64) *World {
+	return NewFaultWorld(mode, cfg, seed, worldFaults)
+}
+
+// NewFaultWorld boots a machine with an explicit fault schedule, bypassing
+// the package-wide spec (so cells with different schedules can run
+// concurrently). The plane is keyed by the same seed as the engine:
+// (seed, spec) fully determines the machine's behaviour.
+func NewFaultWorld(mode Mode, cfg core.Config, seed uint64, spec fault.Spec) *World {
 	eng := sim.NewEngine(seed)
 	kcfg := kernel.DefaultConfig()
 	kcfg.PTI = bool(mode)
@@ -76,8 +106,12 @@ func NewWorld(mode Mode, cfg core.Config, seed uint64) *World {
 		panic(fmt.Sprintf("workload: %v", err))
 	}
 	k.SetFlusher(f)
-	k.Start()
 	w := &World{Eng: eng, K: k, F: f}
+	if !spec.Zero() || spec.NoRetry {
+		w.Fault = fault.New(seed, spec)
+		k.SetFaultPlane(w.Fault)
+	}
+	k.Start()
 	if bootHook != nil {
 		bootHook(w)
 	}

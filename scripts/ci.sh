@@ -12,6 +12,28 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
+# Coverage floor for the fault-injection plane and the layers it
+# perturbs: the recovery protocol (smp) and the faultable fabric (apic)
+# must stay testable in isolation, not only via end-to-end suites. The
+# per-package summary lands in COVERAGE.txt as a CI artifact.
+echo "==> coverage floor (internal/fault, internal/smp, internal/apic >= 80%)"
+go test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ > COVERAGE.txt
+go tool cover -func=coverage.out >> COVERAGE.txt
+cat COVERAGE.txt
+awk '
+    /^ok / {
+        pct = ""
+        for (i = 1; i <= NF; i++) if ($i ~ /^[0-9.]+%$/) pct = $i
+        sub(/%$/, "", pct)
+        if (pct == "" || pct + 0 < 80) {
+            printf "coverage gate: %s at %s%%, floor is 80%%\n", $2, pct
+            failed = 1
+        }
+    }
+    END { exit failed }
+' COVERAGE.txt
+rm -f coverage.out
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -45,5 +67,15 @@ go run ./cmd/tlbcheck -quick -v
 
 echo "==> tlbcheck -race-model (happens-before race check)"
 go run ./cmd/tlbcheck -race-model -quick -v
+
+# The same oracle stack must stay clean when every machine runs under an
+# injected fault schedule: dropped/delayed kicks, stalled responders,
+# spurious evictions, PCID recycling and preemption storms, recovered by
+# the timeout/rekick/degrade path.
+echo "==> tlbcheck -faults light (sanitized suite under fault injection)"
+go run ./cmd/tlbcheck -quick -faults light -v
+
+echo "==> tlbcheck -race-model -faults light"
+go run ./cmd/tlbcheck -race-model -quick -faults light -v
 
 echo "CI: all gates passed"
