@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet sanitize racemodel faultcheck fuzz cover bench check clean
+.PHONY: all build test race lint vet vetjson sanitize racemodel faultcheck fuzz cover bench check clean
 
 all: build
 
@@ -23,9 +23,14 @@ lint: vet
 	$(GO) vet ./...
 	$(GO) run ./cmd/tlbcheck -lint ./...
 
-## vet: the type-checked analysis tier (whole-module typecheck + CFG dataflow)
+## vet: both type-checked analysis tiers (typedlint + the ssa IR analyzers:
+## flush obligations, lock order, ipistate DFA, detflow taint, parallelsafe)
 vet:
 	$(GO) run ./cmd/tlbvet
+
+## vetjson: machine-readable vet report (the VET_findings.json CI artifact)
+vetjson:
+	$(GO) run ./cmd/tlbvet -json > VET_findings.json || { cat VET_findings.json; exit 1; }
 
 ## sanitize: run the experiment suite under the shadow-oracle checker
 sanitize:

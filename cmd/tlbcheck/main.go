@@ -20,11 +20,13 @@
 // iteration, observational hooks stay pure, and race-instrumented shared
 // state is only touched through its accessors.
 //
-// With -vet it runs the type-checked analysis tier
-// (internal/sanitizer/typedlint, same engine as cmd/tlbvet): whole-module
-// typechecking plus CFG dataflow — undischarged flush obligations, static
-// lock-order cycles, named-constant cycle costs, disguised banned
-// imports, and hooks that mutate observed state through method calls.
+// With -vet it runs both type-checked analysis tiers (the same engines as
+// cmd/tlbvet): internal/sanitizer/typedlint — named-constant cycle costs,
+// disguised banned imports, hooks that mutate observed state — and
+// internal/sanitizer/ssa — undischarged flush obligations, static
+// lock-order cycles, the ipistate shootdown-lifecycle DFA, the detflow
+// nondeterminism-taint proof, and the parallelsafe restore-discipline
+// proof, all interprocedural over an SSA IR.
 //
 // Usage:
 //
@@ -48,6 +50,7 @@ import (
 	"shootdown/internal/race"
 	"shootdown/internal/sanitizer"
 	"shootdown/internal/sanitizer/lint"
+	"shootdown/internal/sanitizer/ssa"
 	"shootdown/internal/sanitizer/typedlint"
 	"shootdown/internal/sched"
 )
@@ -86,16 +89,28 @@ func main() {
 }
 
 func runVet() int {
-	res, err := typedlint.Check()
+	// Both static tiers share one load+typecheck and fan out on the sched
+	// pool; the merged report is re-sorted so -parallel never changes it.
+	m, err := typedlint.LoadModule()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlbcheck: %v\n", err)
 		return 2
 	}
-	for _, f := range res.Findings {
+	var findings []lint.Finding
+	for _, fs := range sched.Collect(2, func(i int) []lint.Finding {
+		if i == 0 {
+			return typedlint.CheckModule(m).Findings
+		}
+		return ssa.CheckModule(m).Findings
+	}) {
+		findings = append(findings, fs...)
+	}
+	typedlint.SortFindings(findings)
+	for _, f := range findings {
 		fmt.Println(f)
 	}
-	if len(res.Findings) > 0 {
-		fmt.Fprintf(os.Stderr, "tlbcheck: %d vet finding(s)\n", len(res.Findings))
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tlbcheck: %d vet finding(s)\n", len(findings))
 		return 1
 	}
 	fmt.Println("tlbcheck: vet clean")

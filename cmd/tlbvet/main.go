@@ -1,13 +1,23 @@
-// Command tlbvet runs the type-checked analysis tier
-// (internal/sanitizer/typedlint) over the module: whole-module
-// typechecking (stdlib go/types only), intraprocedural CFG dataflow and
-// call-graph summaries behind five analyzers:
+// Command tlbvet runs the static-analysis tiers over the module: the
+// typed tier (internal/sanitizer/typedlint — whole-module typechecking on
+// stdlib go/types only) and the ssa tier (internal/sanitizer/ssa — a
+// def-use/SSA IR with interprocedural summaries over a fixpoint call
+// graph). Between them:
 //
 //   - flushobligation: every restrictive page-table mutation's returned
 //     mm.FlushRange must reach a shootdown discharge on every path, be
 //     returned to the caller, or carry an "obligation-transferred:" marker
 //   - lockorder: static lockdep — acquisition-order cycles between
 //     mm.RWSem lock classes anywhere in the call graph
+//   - ipistate: typestate DFA for the shootdown request lifecycle
+//     (new → kicked → waited → acked/timeout-recovery → discharged,
+//     with deferred-discharge and enqueue-transfer edges)
+//   - detflow: nondeterminism-taint — time.Now, math/rand, map-range
+//     order and select arms must never reach simulated state, digests,
+//     stats or event timestamps
+//   - parallelsafe: whole-program restore-discipline proof for
+//     package-level vars in simulated packages
+//   - stalemarker: suppression markers nothing consumed are findings
 //   - costliteral: constant cycle costs (including named constants and
 //     thin Delay wrappers) outside the cost model
 //   - determinism: banned imports (time, math/rand) by path, catching
@@ -16,44 +26,100 @@
 //     mutating method calls and local aliases
 //
 // Output is sorted by file, line and analyzer, so it is byte-identical
-// regardless of scheduling. Exit status: 0 clean, 1 findings, 2 on a
-// load/typecheck error.
+// regardless of scheduling (-parallel only changes wall clock, never
+// bytes). Exit status: 0 clean, 1 findings, 2 on a load/typecheck error.
 //
 // Usage:
 //
-//	tlbvet                  # vet the enclosing module
-//	tlbvet -suppressions    # also list obligation-transferred suppressions
+//	tlbvet                  # vet the enclosing module (both tiers)
+//	tlbvet -json            # machine-readable report (CI artifact)
+//	tlbvet -parallel 8      # fan the tiers out over 8 workers
+//	tlbvet -suppressions    # also list documented suppressions
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"shootdown/internal/sanitizer/lint"
+	"shootdown/internal/sanitizer/ssa"
 	"shootdown/internal/sanitizer/typedlint"
+	"shootdown/internal/sched"
 )
+
+// report is the -json shape; field names are part of the CI contract
+// (ci.sh publishes it as VET_findings.json).
+type report struct {
+	Findings     []lint.Finding          `json:"findings"`
+	Suppressions []typedlint.Suppression `json:"suppressions"`
+	// FuncsVisited records per-analyzer whole-program coverage for the
+	// ssa tier, so dashboards can spot a silently narrowed walk.
+	FuncsVisited map[string]int `json:"funcs_visited"`
+}
 
 func main() {
 	var (
-		sups = flag.Bool("suppressions", false, "list documented obligation-transferred suppressions after findings")
+		sups     = flag.Bool("suppressions", false, "list documented suppressions after findings")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
+		parallel = flag.Int("parallel", 0, "worker count for fanning out the analysis tiers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	sched.SetWorkers(*parallel)
 
-	res, err := typedlint.Check()
+	// Both tiers share one load+typecheck, then fan out on the pool. The
+	// merged report is re-sorted, so worker count never changes the bytes.
+	m, err := typedlint.LoadModule()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlbvet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range res.Findings {
+	rep := report{
+		Findings:     []lint.Finding{},
+		Suppressions: []typedlint.Suppression{},
+	}
+	results := sched.Collect(2, func(i int) *report {
+		if i == 0 {
+			r := typedlint.CheckModule(m)
+			return &report{Findings: r.Findings, Suppressions: r.Suppressions}
+		}
+		r := ssa.CheckModule(m)
+		return &report{Findings: r.Findings, Suppressions: r.Suppressions, FuncsVisited: r.FuncsVisited}
+	})
+	for _, r := range results {
+		rep.Findings = append(rep.Findings, r.Findings...)
+		rep.Suppressions = append(rep.Suppressions, r.Suppressions...)
+		if r.FuncsVisited != nil {
+			rep.FuncsVisited = r.FuncsVisited
+		}
+	}
+	typedlint.SortFindings(rep.Findings)
+	typedlint.SortSuppressions(rep.Suppressions)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "tlbvet: %v\n", err)
+			os.Exit(2)
+		}
+		if len(rep.Findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, f := range rep.Findings {
 		fmt.Println(f)
 	}
 	if *sups {
-		for _, s := range res.Suppressions {
+		for _, s := range rep.Suppressions {
 			fmt.Printf("%s:%d: %s: suppressed: %s\n", s.File, s.Line, s.Analyzer, s.Reason)
 		}
 	}
-	if len(res.Findings) > 0 {
-		fmt.Fprintf(os.Stderr, "tlbvet: %d finding(s)\n", len(res.Findings))
+	if len(rep.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tlbvet: %d finding(s)\n", len(rep.Findings))
 		os.Exit(1)
 	}
 	fmt.Println("tlbvet: clean")

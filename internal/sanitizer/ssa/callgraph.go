@@ -1,0 +1,59 @@
+package ssa
+
+import "go/types"
+
+// Program is the whole-module SSA form: one Func per declaration plus a
+// unit per func literal, with the interface-implementation map the
+// interprocedural fixpoints resolve dynamic calls through.
+type Program struct {
+	// Funcs holds the declared units in deterministic (package, file,
+	// source) order; literal units hang off their parent's Lits.
+	Funcs []*Func
+	// ByObj resolves a callee object to its lowered unit.
+	ByObj map[*types.Func]*Func
+	// Impls maps interface methods to their module implementations.
+	Impls map[*types.Func][]*types.Func
+}
+
+// program builds (once per run) the SSA form of every function in scope.
+func (ctx *modCtx) program() *Program {
+	if ctx.prog != nil {
+		return ctx.prog
+	}
+	p := &Program{ByObj: make(map[*types.Func]*Func)}
+	for _, fd := range allFuncs(ctx.pkgs) {
+		f := buildFunc(fd)
+		p.Funcs = append(p.Funcs, f)
+		p.ByObj[fd.Obj] = f
+	}
+	p.Impls = buildImplMap(ctx.pkgs)
+	ctx.prog = p
+	return p
+}
+
+// eachUnit visits every unit — declared functions and, transitively, the
+// func literals nested in them — in deterministic order.
+func (p *Program) eachUnit(visit func(*Func)) {
+	var walk func(f *Func)
+	walk = func(f *Func) {
+		visit(f)
+		for _, lit := range f.Lits {
+			walk(lit)
+		}
+	}
+	for _, f := range p.Funcs {
+		walk(f)
+	}
+}
+
+// calleesOf resolves call to its possible targets: the static callee, or
+// every module implementation when the callee is an interface method.
+func (p *Program) calleesOf(call *Value) []*types.Func {
+	if call.Callee == nil {
+		return nil
+	}
+	if impls := p.Impls[call.Callee]; len(impls) > 0 {
+		return impls
+	}
+	return []*types.Func{call.Callee}
+}

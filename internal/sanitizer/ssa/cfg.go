@@ -1,4 +1,4 @@
-package typedlint
+package ssa
 
 import (
 	"go/ast"
@@ -41,6 +41,10 @@ type cfgBlock struct {
 	// rangeStmt, on a loop-head block, is the range statement whose
 	// per-iteration variables are rebound there (nil for plain for loops).
 	rangeStmt *ast.RangeStmt
+	// isSelectComm marks the entry block of a select communication clause:
+	// which arm runs is scheduling-dependent, so values bound there are
+	// nondeterminism sources for the detflow taint analysis.
+	isSelectComm bool
 }
 
 func (b *cfgBlock) successors() []*cfgBlock {
@@ -289,6 +293,7 @@ func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, head *cfgBlock, label str
 			}
 			bodies = append(bodies, c.Body)
 		case *ast.CommClause:
+			entry.isSelectComm = true
 			if c.Comm == nil {
 				hasDefault = true
 			} else {

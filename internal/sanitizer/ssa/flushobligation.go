@@ -1,4 +1,4 @@
-package typedlint
+package ssa
 
 import (
 	"fmt"
@@ -37,7 +37,7 @@ import (
 // translate through stale.
 
 func isFlushRange(t types.Type) bool {
-	return isNamed(t, modulePath+"/internal/mm", "FlushRange")
+	return isNamed(t, modPath+"/internal/mm", "FlushRange")
 }
 
 func isFlushRangeSlice(t types.Type) bool {
@@ -116,7 +116,7 @@ func checkFlushObligation(ctx *modCtx) ([]lint.Finding, []Suppression) {
 		for _, c := range candidates {
 			leaks := analyzeObligations(ctx, c.fd, c.seedIdx, discharging, nil, nil)
 			for _, idx := range c.seedIdx {
-				if !leaks[idx] && discharging.mark(c.fd.obj, idx) {
+				if !leaks[idx] && discharging.mark(c.fd.Obj, idx) {
 					changed = true
 				}
 			}
@@ -131,9 +131,9 @@ func checkFlushObligation(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	var sups []Suppression
 	for _, fd := range funcs {
 		analyzeObligations(ctx, fd, nil, discharging, &findings, &sups)
-		for _, lit := range funcLitsIn(fd.decl.Body) {
+		for _, lit := range funcLitsIn(fd.Decl.Body) {
 			a := newOblAnalysis(ctx, fd, discharging, &findings, &sups)
-			a.unitName = "the function literal in " + fd.decl.Name.Name
+			a.unitName = "the function literal in " + fd.Decl.Name.Name
 			a.analyzeBody(lit.Body, nil)
 		}
 	}
@@ -157,7 +157,7 @@ func funcLitsIn(body *ast.BlockStmt) []*ast.FuncLit {
 // implementation of the interface.
 func seedDischargers(ctx *modCtx) dischargeSet {
 	d := make(dischargeSet)
-	kp := ctx.m.Lookup(modulePath + "/internal/kernel")
+	kp := ctx.m.Lookup(modPath + "/internal/kernel")
 	if kp == nil {
 		return d
 	}
@@ -206,19 +206,19 @@ func seedDischargers(ctx *modCtx) dischargeSet {
 }
 
 type dischargeCandidate struct {
-	fd      funcDecl
+	fd      FuncDecl
 	seedIdx []int
 }
 
 // dischargeCandidates lists functions with FlushRange parameters that are
 // not already root dischargers.
-func dischargeCandidates(funcs []funcDecl, roots dischargeSet) []dischargeCandidate {
+func dischargeCandidates(funcs []FuncDecl, roots dischargeSet) []dischargeCandidate {
 	var out []dischargeCandidate
 	for _, fd := range funcs {
-		sig := fd.obj.Type().(*types.Signature)
+		sig := fd.Obj.Type().(*types.Signature)
 		var idx []int
 		for i := 0; i < sig.Params().Len(); i++ {
-			if isObligationType(sig.Params().At(i).Type()) && !roots.has(fd.obj, i) {
+			if isObligationType(sig.Params().At(i).Type()) && !roots.has(fd.Obj, i) {
 				idx = append(idx, i)
 			}
 		}
@@ -232,7 +232,7 @@ func dischargeCandidates(funcs []funcDecl, roots dischargeSet) []dischargeCandid
 // oblAnalysis carries one function's dataflow run.
 type oblAnalysis struct {
 	ctx         *modCtx
-	fd          funcDecl
+	fd          FuncDecl
 	info        *types.Info
 	discharging dischargeSet
 	findings    *[]lint.Finding
@@ -247,10 +247,10 @@ type oblAnalysis struct {
 	leaks map[int]bool
 }
 
-func newOblAnalysis(ctx *modCtx, fd funcDecl, discharging dischargeSet, findings *[]lint.Finding, sups *[]Suppression) *oblAnalysis {
+func newOblAnalysis(ctx *modCtx, fd FuncDecl, discharging dischargeSet, findings *[]lint.Finding, sups *[]Suppression) *oblAnalysis {
 	return &oblAnalysis{
-		ctx: ctx, fd: fd, info: fd.pkg.Info, discharging: discharging,
-		findings: findings, sups: sups, unitName: fd.decl.Name.Name,
+		ctx: ctx, fd: fd, info: fd.Pkg.Info, discharging: discharging,
+		findings: findings, sups: sups, unitName: fd.Decl.Name.Name,
 		seen: make(map[string]bool), leaks: make(map[int]bool),
 	}
 }
@@ -259,15 +259,15 @@ func newOblAnalysis(ctx *modCtx, fd funcDecl, discharging dischargeSet, findings
 // when non-empty, seeds the listed FlushRange parameters as obligations
 // (summary mode: findings/sups are nil and the leaked indices are
 // returned). In reporting mode findings and suppressions are appended.
-func analyzeObligations(ctx *modCtx, fd funcDecl, seedIdx []int, discharging dischargeSet, findings *[]lint.Finding, sups *[]Suppression) map[int]bool {
+func analyzeObligations(ctx *modCtx, fd FuncDecl, seedIdx []int, discharging dischargeSet, findings *[]lint.Finding, sups *[]Suppression) map[int]bool {
 	a := newOblAnalysis(ctx, fd, discharging, findings, sups)
 	entry := make(oblState)
-	sig := fd.obj.Type().(*types.Signature)
+	sig := fd.Obj.Type().(*types.Signature)
 	for _, idx := range seedIdx {
 		pv := sig.Params().At(idx)
 		entry[pv] = &obligation{paramIdx: idx, desc: "parameter " + pv.Name()}
 	}
-	return a.analyzeBody(fd.decl.Body, entry)
+	return a.analyzeBody(fd.Decl.Body, entry)
 }
 
 // analyzeBody runs the dataflow over one body (a declared function's or a
@@ -443,7 +443,7 @@ func (a *oblAnalysis) transferAssign(as *ast.AssignStmt, st oblState) {
 // page-table mutations.
 func (a *oblAnalysis) creationResults(call *ast.CallExpr) []int {
 	fn := calleeFunc(a.info, call)
-	if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), modulePath) {
+	if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), modPath) {
 		return nil
 	}
 	sig, ok := fn.Type().(*types.Signature)
@@ -636,9 +636,9 @@ func (a *oblAnalysis) suppress(file string, line int, reason string) {
 }
 
 func (a *oblAnalysis) fileRel(pos token.Pos) string {
-	_, rel := a.fd.pkg.fileOf(pos)
+	_, rel := a.fd.Pkg.FileOf(pos)
 	if rel == "" {
-		rel = a.fd.file
+		rel = a.fd.File
 	}
 	return rel
 }

@@ -1,4 +1,4 @@
-package typedlint
+package ssa
 
 import (
 	"fmt"
@@ -34,7 +34,7 @@ import (
 // every module implementation. Function-typed values (callbacks passed to
 // smp.CallMany) are not traced — the runtime lockdep covers those.
 
-const lockTypePkg = modulePath + "/internal/mm"
+const lockTypePkg = modPath + "/internal/mm"
 const lockTypeName = "RWSem"
 
 func isLockType(t types.Type) bool { return isNamed(t, lockTypePkg, lockTypeName) }
@@ -110,7 +110,7 @@ func checkLockOrder(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	lo := &lockOrder{
 		ctx:       ctx,
 		summaries: make(map[*types.Func]*lockSummary),
-		impls:     buildImplMap(ctx),
+		impls:     buildImplMap(ctx.pkgs),
 	}
 	funcs := allFuncs(ctx.pkgs)
 
@@ -118,13 +118,13 @@ func checkLockOrder(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	for round := 0; ; round++ {
 		changed := false
 		for _, fd := range funcs {
-			if isLockPrimitive(fd.obj) {
+			if isLockPrimitive(fd.Obj) {
 				continue
 			}
 			sum := lo.analyzeFunc(fd)
-			old := lo.summaries[fd.obj]
+			old := lo.summaries[fd.Obj]
 			if old == nil || !old.equal(sum) {
-				lo.summaries[fd.obj] = sum
+				lo.summaries[fd.Obj] = sum
 				changed = true
 			}
 		}
@@ -138,7 +138,7 @@ func checkLockOrder(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	// against the converged summaries.
 	var litSums []*lockSummary
 	for _, fd := range funcs {
-		for _, lit := range funcLitsIn(fd.decl.Body) {
+		for _, lit := range funcLitsIn(fd.Decl.Body) {
 			litSums = append(litSums, lo.analyzeBody(fd, lit.Body))
 		}
 	}
@@ -149,7 +149,7 @@ func checkLockOrder(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	edges := make(map[edge]sitePos)
 	var allSums []*lockSummary
 	for _, fd := range funcs {
-		if sum := lo.summaries[fd.obj]; sum != nil {
+		if sum := lo.summaries[fd.Obj]; sum != nil {
 			allSums = append(allSums, sum)
 		}
 	}
@@ -251,57 +251,6 @@ func canonicalCycle(c []string) string {
 	return strings.Join(rot, "->")
 }
 
-// buildImplMap maps each interface method declared in the module to the
-// concrete module methods implementing it.
-func buildImplMap(ctx *modCtx) map[*types.Func][]*types.Func {
-	out := make(map[*types.Func][]*types.Func)
-	var ifaces []*types.Named
-	for _, p := range ctx.pkgs {
-		scope := p.Types.Scope()
-		for _, name := range scope.Names() {
-			tn, ok := scope.Lookup(name).(*types.TypeName)
-			if !ok || tn.IsAlias() {
-				continue
-			}
-			if n, ok := tn.Type().(*types.Named); ok {
-				if _, isIface := n.Underlying().(*types.Interface); isIface {
-					ifaces = append(ifaces, n)
-				}
-			}
-		}
-	}
-	for _, p := range ctx.pkgs {
-		scope := p.Types.Scope()
-		for _, name := range scope.Names() {
-			tn, ok := scope.Lookup(name).(*types.TypeName)
-			if !ok || tn.IsAlias() {
-				continue
-			}
-			named, ok := tn.Type().(*types.Named)
-			if !ok {
-				continue
-			}
-			if _, isIface := named.Underlying().(*types.Interface); isIface {
-				continue
-			}
-			for _, in := range ifaces {
-				iface := in.Underlying().(*types.Interface)
-				if !types.Implements(types.NewPointer(named), iface) {
-					continue
-				}
-				for i := 0; i < iface.NumMethods(); i++ {
-					m := iface.Method(i)
-					impl, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, p.Types, m.Name())
-					if fn, ok := impl.(*types.Func); ok {
-						out[m] = append(out[m], fn)
-					}
-				}
-			}
-		}
-	}
-	return out
-}
-
 // isLockPrimitive reports whether fn is one of the RWSem methods whose
 // body IS the lock implementation (modeled by hardcoded summaries).
 func isLockPrimitive(fn *types.Func) bool {
@@ -325,7 +274,7 @@ type lockOrder struct {
 // lockAnalysis is the per-function held-set dataflow.
 type lockAnalysis struct {
 	lo   *lockOrder
-	fd   funcDecl
+	fd   FuncDecl
 	info *types.Info
 	sum  *lockSummary
 	// locals maps local variables to the lock reference they alias.
@@ -343,15 +292,15 @@ func (h heldSet) clone() heldSet {
 }
 
 // analyzeFunc computes fd's lock summary under the current fixpoint.
-func (lo *lockOrder) analyzeFunc(fd funcDecl) *lockSummary {
-	return lo.analyzeBody(fd, fd.decl.Body)
+func (lo *lockOrder) analyzeFunc(fd FuncDecl) *lockSummary {
+	return lo.analyzeBody(fd, fd.Decl.Body)
 }
 
 // analyzeBody runs the held-set dataflow over one body — a declared
 // function's, or a function literal's (a daemon Task.Fn closure acquires
 // its locks when the task runs, not when the constructor builds it).
-func (lo *lockOrder) analyzeBody(fd funcDecl, body *ast.BlockStmt) *lockSummary {
-	a := &lockAnalysis{lo: lo, fd: fd, info: fd.pkg.Info, sum: newLockSummary(), locals: make(map[*types.Var]lockRef)}
+func (lo *lockOrder) analyzeBody(fd FuncDecl, body *ast.BlockStmt) *lockSummary {
+	a := &lockAnalysis{lo: lo, fd: fd, info: fd.Pkg.Info, sum: newLockSummary(), locals: make(map[*types.Var]lockRef)}
 	a.bindLocals(body)
 	g := buildCFG(body)
 
@@ -454,7 +403,7 @@ func (a *lockAnalysis) exprRef(e ast.Expr) lockRef {
 		if !ok {
 			return ""
 		}
-		sig := a.fd.obj.Type().(*types.Signature)
+		sig := a.fd.Obj.Type().(*types.Signature)
 		if sig.Recv() == obj {
 			return recvRef
 		}
@@ -540,9 +489,9 @@ func (a *lockAnalysis) release(ref lockRef, st heldSet) {
 }
 
 func (a *lockAnalysis) sitePos(pos token.Pos) (string, int) {
-	_, rel := a.fd.pkg.fileOf(pos)
+	_, rel := a.fd.Pkg.FileOf(pos)
 	if rel == "" {
-		rel = a.fd.file
+		rel = a.fd.File
 	}
 	return rel, a.lo.ctx.m.Fset.Position(pos).Line
 }

@@ -1,0 +1,217 @@
+// Package ssa is the deepest static-analysis tier: a stdlib-only
+// def-use/SSA-form IR lowered from per-function CFGs, with interprocedural
+// summaries computed over a fixpoint call graph. Where typedlint answers
+// "what does this expression mean", this tier answers "what happens to
+// this value on every path".
+//
+// Analyzers:
+//
+//   - flushobligation: every value of type mm.FlushRange returned by a
+//     module call must reach a shootdown discharge (kernel.Flusher's
+//     FlushAfter, or a callee proven to discharge it) on every path, be
+//     returned to the caller, or carry an "obligation-transferred:" marker.
+//   - lockorder: a static lockdep over the call graph — acquisition-order
+//     cycles between mm.RWSem classes are reported without running a
+//     single seed.
+//   - ipistate: a typestate checker for the shootdown request lifecycle.
+//     Every smp.Request born from CallMany must follow the DFA
+//     new → kicked → waited → (acked | timeout → rekick{≤MaxKickRetries}
+//     → degrade-to-full) → discharged on every path: no wait-before-kick,
+//     no double-discharge, no leaked in-flight request. Deferred-discharge
+//     edges (return or enqueue to a field) transfer the obligation to the
+//     consumer, so the ROADMAP-1 async fabric lands checker-first.
+//   - detflow: a nondeterminism-taint analysis proving the parallel
+//     harness guarantee statically. Sources (time.Now, math/rand outside
+//     fault.Decide, map-range order, select arms, goroutine identity)
+//     must never flow into simulated state, StateDigest inputs, stats, or
+//     event timestamps; sorting sanitizes iteration-order taint.
+//   - parallelsafe: a whole-program restore-discipline proof for
+//     package-level mutable vars in simulated packages, retiring
+//     "parallel-safe:" suppression markers the syntactic tier needed.
+//   - stalemarker: suppression markers that no analyzer consumed are
+//     themselves findings, so retired suppressions cannot linger.
+//
+// Findings reuse lint.Finding and are sorted by file, line and analyzer,
+// so output is byte-identical no matter how the caller schedules the work.
+package ssa
+
+import (
+	"go/token"
+	"go/types"
+
+	"shootdown/internal/sanitizer/lint"
+	"shootdown/internal/sanitizer/typedlint"
+)
+
+// The loader, typed helpers and marker index are shared with typedlint;
+// local names keep the analyzer bodies terse.
+type (
+	// Module is the loaded and typechecked analysis target.
+	Module = typedlint.Module
+	// Package is one typechecked package of the module.
+	Package = typedlint.Package
+	// Suppression is a finding silenced by a documented marker.
+	Suppression = typedlint.Suppression
+	// FuncDecl pairs a declaration with its package.
+	FuncDecl = typedlint.FuncDecl
+)
+
+const (
+	modPath        = typedlint.ModulePath
+	transferMarker = typedlint.TransferMarker
+)
+
+var (
+	allFuncs   = typedlint.AllFuncs
+	unwrap     = typedlint.Unwrap
+	calleeFunc = typedlint.CalleeFunc
+	identObj   = typedlint.IdentObj
+	namedType  = typedlint.NamedType
+	isNamed    = typedlint.IsNamed
+	inFixture  = typedlint.InFixture
+)
+
+func buildImplMap(pkgs []*Package) map[*types.Func][]*types.Func {
+	return typedlint.BuildImplMap(pkgs)
+}
+
+// Result is the outcome of an ssa-tier run.
+type Result struct {
+	Findings     []lint.Finding
+	Suppressions []Suppression
+	// FuncsVisited counts, per analyzer, the function declarations walked;
+	// the coverage-floor test asserts the whole-program analyzers visit at
+	// least as many functions as the typedlint tier.
+	FuncsVisited map[string]int
+}
+
+// modCtx is the shared context every analyzer receives.
+type modCtx struct {
+	m       *Module
+	pkgs    []*Package
+	markers typedlint.MarkerIndex
+	// visited records per-analyzer function coverage (written by each
+	// analyzer, read by coverage-floor tests).
+	visited map[string]int
+	// usedMarkers records marker lines consumed as suppressions, keyed by
+	// file then marker line, so stalemarker can flag the rest.
+	usedMarkers map[string]map[int]bool
+	// prog caches the whole-module SSA form shared by the analyzers.
+	prog *Program
+}
+
+func (ctx *modCtx) markerFor(file string, line int) (string, bool) {
+	r, ok := ctx.markers.For(file, line)
+	if ok {
+		ml := line
+		if _, direct := ctx.markers[file][line]; !direct {
+			ml = line - 1
+		}
+		if ctx.usedMarkers[file] == nil {
+			ctx.usedMarkers[file] = make(map[int]bool)
+		}
+		ctx.usedMarkers[file][ml] = true
+	}
+	return r, ok
+}
+
+// Check loads the enclosing module and runs every ssa-tier analyzer.
+func Check() (*Result, error) {
+	m, err := typedlint.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	return CheckModule(m), nil
+}
+
+// CheckModule runs every ssa-tier analyzer over an already-loaded module.
+func CheckModule(m *Module) *Result {
+	return run(m, m.Pkgs, nil)
+}
+
+// CheckFixture typechecks one testdata fixture against the module and runs
+// the analyzers with the fixture in scope, reporting only findings located
+// in the fixture's file.
+func CheckFixture(m *Module, file string) (*Result, error) {
+	fp, err := m.LoadFixture(file)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := append(append([]*Package{}, m.Pkgs...), fp)
+	return run(m, pkgs, fp), nil
+}
+
+// run executes the analyzers over pkgs. When only is non-nil, findings are
+// restricted to that package's files (fixture mode); module-wide context
+// (summaries, call graph) still spans all of pkgs.
+func run(m *Module, pkgs []*Package, only *Package) *Result {
+	ctx := &modCtx{
+		m:           m,
+		pkgs:        pkgs,
+		markers:     typedlint.CollectMarkers(m.Fset, pkgs),
+		visited:     make(map[string]int),
+		usedMarkers: make(map[string]map[int]bool),
+	}
+	res := &Result{}
+	// stalemarker must run last: it flags markers nothing else consumed.
+	for _, an := range []func(*modCtx) ([]lint.Finding, []Suppression){
+		checkFlushObligation,
+		checkLockOrder,
+		checkIPIState,
+		checkDetFlow,
+		checkParallelSafe,
+		checkStaleMarkers,
+	} {
+		fs, sups := an(ctx)
+		res.Findings = append(res.Findings, fs...)
+		res.Suppressions = append(res.Suppressions, sups...)
+	}
+	res.FuncsVisited = ctx.visited
+	if only != nil {
+		res.Findings = typedlint.FilterByFiles(res.Findings, only.FileNames)
+		res.Suppressions = typedlint.FilterSupsByFiles(res.Suppressions, only.FileNames)
+	}
+	typedlint.SortFindings(res.Findings)
+	typedlint.SortSuppressions(res.Suppressions)
+	return res
+}
+
+// checkStaleMarkers reports every "obligation-transferred:" marker that no
+// analyzer consumed as a suppression: a retired suppression is itself a
+// finding, so dead waivers cannot accumulate in the tree.
+func checkStaleMarkers(ctx *modCtx) ([]lint.Finding, []Suppression) {
+	var findings []lint.Finding
+	for file, lines := range ctx.markers {
+		for line := range lines {
+			if ctx.usedMarkers[file][line] {
+				continue
+			}
+			findings = append(findings, lint.Finding{
+				File: file, Line: line, Analyzer: "stalemarker",
+				Msg: "stale \"" + transferMarker + "\" marker: the flush obligation here is already proven discharged; delete the marker",
+			})
+		}
+	}
+	return findings, nil
+}
+
+// funcIdent names fd as "pkg.Func" or "pkg.Recv.Method" for reports.
+func funcIdent(fd FuncDecl) string {
+	name := fd.Obj.Name()
+	if sig, ok := fd.Obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedType(sig.Recv().Type()); n != nil {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	return fd.Obj.Pkg().Name() + "." + name
+}
+
+// posLine locates pos as a (module-relative file, line) pair within fd's
+// package, falling back to the declaring file when pos is synthetic.
+func (ctx *modCtx) posLine(fd FuncDecl, pos token.Pos) (string, int) {
+	_, rel := fd.Pkg.FileOf(pos)
+	if rel == "" {
+		rel = fd.File
+	}
+	return rel, ctx.m.Fset.Position(pos).Line
+}

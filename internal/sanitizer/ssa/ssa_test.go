@@ -1,0 +1,227 @@
+package ssa
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"shootdown/internal/sanitizer/lint"
+	"shootdown/internal/sanitizer/typedlint"
+	"shootdown/internal/sched"
+)
+
+// The module is typechecked once and shared: loading is the expensive
+// part, the analyzers are read-only over the loaded data.
+var (
+	modOnce sync.Once
+	mod     *Module
+	modErr  error
+)
+
+func sharedModule(t *testing.T) *Module {
+	t.Helper()
+	modOnce.Do(func() { mod, modErr = typedlint.LoadModule() })
+	if modErr != nil {
+		t.Fatalf("LoadModule: %v", modErr)
+	}
+	return mod
+}
+
+func checkFixture(t *testing.T, name string) *Result {
+	t.Helper()
+	res, err := CheckFixture(sharedModule(t), filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("CheckFixture(%s): %v", name, err)
+	}
+	return res
+}
+
+func countBy(fs []lint.Finding, analyzer string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Analyzer == analyzer {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFlushObligationFixtureFires(t *testing.T) {
+	res := checkFixture(t, "bad_flushobligation.go")
+	if got := countBy(res.Findings, "flushobligation"); got != 1 {
+		t.Fatalf("flushobligation findings = %d, want exactly 1: %v", got, res.Findings)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("total findings = %d, want 1: %v", len(res.Findings), res.Findings)
+	}
+	if !strings.Contains(res.Findings[0].Msg, "as.Unmap") {
+		t.Fatalf("finding should name the creating call: %v", res.Findings[0])
+	}
+}
+
+func TestFlushObligationGoodFixtureClean(t *testing.T) {
+	res := checkFixture(t, "good_flushobligation.go")
+	if len(res.Findings) != 0 {
+		t.Fatalf("good fixture should be clean, got %v", res.Findings)
+	}
+	if len(res.Suppressions) != 1 {
+		t.Fatalf("suppressions = %d, want exactly 1 (the marker): %v", len(res.Suppressions), res.Suppressions)
+	}
+	if s := res.Suppressions[0]; s.Analyzer != "flushobligation" || !strings.Contains(s.Reason, "full-flushes") {
+		t.Fatalf("unexpected suppression: %+v", s)
+	}
+}
+
+func TestLockOrderFixtureFires(t *testing.T) {
+	res := checkFixture(t, "bad_lockorder.go")
+	if got := countBy(res.Findings, "lockorder"); got != 1 {
+		t.Fatalf("lockorder findings = %d, want exactly 1: %v", got, res.Findings)
+	}
+	f := res.Findings[0]
+	if !strings.Contains(f.Msg, "cycle") || !strings.Contains(f.Msg, "twoLocks.a") || !strings.Contains(f.Msg, "twoLocks.b") {
+		t.Fatalf("cycle finding should name both lock classes: %v", f)
+	}
+}
+
+func TestIPIStateWaitWithoutKickFires(t *testing.T) {
+	res := checkFixture(t, "bad_ipistate.go")
+	if got := countBy(res.Findings, "ipistate"); got != 1 {
+		t.Fatalf("ipistate findings = %d, want exactly 1: %v", got, res.Findings)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("total findings = %d, want 1: %v", len(res.Findings), res.Findings)
+	}
+	if !strings.Contains(res.Findings[0].Msg, "wait before kick") {
+		t.Fatalf("finding should name the skipped DFA edge: %v", res.Findings[0])
+	}
+}
+
+func TestIPIStateDoubleDischargeFires(t *testing.T) {
+	res := checkFixture(t, "bad_ipistate_double.go")
+	if got := countBy(res.Findings, "ipistate"); got != 1 {
+		t.Fatalf("ipistate findings = %d, want exactly 1: %v", got, res.Findings)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("total findings = %d, want 1: %v", len(res.Findings), res.Findings)
+	}
+	if !strings.Contains(res.Findings[0].Msg, "double discharge") {
+		t.Fatalf("finding should name the repeated discharge: %v", res.Findings[0])
+	}
+}
+
+func TestIPIStateGoodFixtureClean(t *testing.T) {
+	res := checkFixture(t, "good_ipistate.go")
+	if len(res.Findings) != 0 {
+		t.Fatalf("lifecycle fixture should be clean (kick+wait, recovery ladder, both transfer edges), got %v", res.Findings)
+	}
+}
+
+func TestDetFlowDigestFixtureFires(t *testing.T) {
+	res := checkFixture(t, "bad_detflow.go")
+	if got := countBy(res.Findings, "detflow"); got != 1 {
+		t.Fatalf("detflow findings = %d, want exactly 1: %v", got, res.Findings)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("total findings = %d, want 1: %v", len(res.Findings), res.Findings)
+	}
+	f := res.Findings[0]
+	if !strings.Contains(f.Msg, "StateDigest") || !strings.Contains(f.Msg, "wall clock") {
+		t.Fatalf("finding should name the digest sink and the clock source: %v", f)
+	}
+}
+
+func TestDetFlowGoodFixtureClean(t *testing.T) {
+	res := checkFixture(t, "good_detflow.go")
+	if len(res.Findings) != 0 {
+		t.Fatalf("sorted-iteration fixture should be clean, got %v", res.Findings)
+	}
+}
+
+// TestRepoIsCleanWithoutWaivers is the tier's bar: the whole tree passes
+// every ssa analyzer with zero findings AND zero suppressions — the
+// parallel-safe markers the syntactic tier needed are gone, replaced by
+// the whole-program restore-discipline proof.
+func TestRepoIsCleanWithoutWaivers(t *testing.T) {
+	res := CheckModule(sharedModule(t))
+	if len(res.Findings) != 0 {
+		t.Fatalf("repository should be clean, got %d finding(s):\n%v", len(res.Findings), res.Findings)
+	}
+	if len(res.Suppressions) != 0 {
+		t.Fatalf("repository should need no suppression markers, got %v", res.Suppressions)
+	}
+}
+
+// TestWholeProgramCoverageFloor asserts the interprocedural analyzers
+// visited at least every function the typedlint tier sees — a silently
+// narrowed walk (a lost package, an early bail) cannot pass as "clean".
+func TestWholeProgramCoverageFloor(t *testing.T) {
+	m := sharedModule(t)
+	floor := typedlint.CheckModule(m).FuncsVisited
+	if floor == 0 {
+		t.Fatal("typedlint visited 0 functions — the floor itself is broken")
+	}
+	res := CheckModule(m)
+	for _, an := range []string{"ipistate", "detflow", "parallelsafe"} {
+		if got := res.FuncsVisited[an]; got < floor {
+			t.Fatalf("%s visited %d functions, below the typedlint floor %d", an, got, floor)
+		}
+	}
+}
+
+// renderReport formats a Result exactly like cmd/tlbvet prints it.
+func renderReport(res *Result) string {
+	var b strings.Builder
+	for _, f := range res.Findings {
+		fmt.Fprintln(&b, f.String())
+	}
+	for _, s := range res.Suppressions {
+		fmt.Fprintf(&b, "%s:%d: %s: suppressed: %s\n", s.File, s.Line, s.Analyzer, s.Reason)
+	}
+	return b.String()
+}
+
+// TestVetOutputParallelGolden is the golden scheduling test: the combined
+// two-tier report (typedlint + ssa, fanned out on the sched pool exactly
+// like cmd/tlbvet -parallel) is byte-identical at 1 worker and 8 workers.
+func TestVetOutputParallelGolden(t *testing.T) {
+	m := sharedModule(t)
+	fp1, err := m.LoadFixture(filepath.Join("testdata", "bad_ipistate.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := m.LoadFixture(filepath.Join("testdata", "bad_detflow.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := append(append([]*Package{}, m.Pkgs...), fp1, fp2)
+
+	report := func() string {
+		outs := sched.Collect(2, func(i int) string {
+			if i == 0 {
+				tr := typedlint.CheckModule(m)
+				var b strings.Builder
+				for _, f := range tr.Findings {
+					fmt.Fprintln(&b, f.String())
+				}
+				return b.String()
+			}
+			return renderReport(run(m, pkgs, nil))
+		})
+		return strings.Join(outs, "")
+	}
+
+	prev := sched.SetWorkers(1)
+	defer sched.SetWorkers(prev)
+	one := report()
+	sched.SetWorkers(8)
+	eight := report()
+
+	if one == "" {
+		t.Fatal("expected findings from the loaded fixtures")
+	}
+	if one != eight {
+		t.Fatalf("-parallel 1 and -parallel 8 reports differ:\n%s\nvs:\n%s", one, eight)
+	}
+}

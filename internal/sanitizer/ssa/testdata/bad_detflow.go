@@ -1,0 +1,17 @@
+// Fixture: wall-clock nondeterminism reaching a state digest. The detflow
+// analyzer must report exactly one finding at the StateDigest call — the
+// slice bound derives from time.Now, so two replays of the same seed can
+// digest different prefixes and the byte-identical-worlds guarantee dies.
+package detfix
+
+import (
+	"time"
+
+	"shootdown/internal/mm"
+	"shootdown/internal/workload"
+)
+
+func skewedDigest(spaces []*mm.AddressSpace) string {
+	n := int(time.Now().UnixNano()) % len(spaces)
+	return workload.StateDigest(spaces[:n])
+}

@@ -36,7 +36,7 @@ var costScope = []string{
 
 func inCostScopeTyped(rel string) bool {
 	rel = filepath.ToSlash(rel)
-	if inFixture(rel) {
+	if InFixture(rel) {
 		return true
 	}
 	for _, p := range costScope {
@@ -56,7 +56,7 @@ func isDelaySink(fn *types.Func) bool {
 	if !ok || sig.Recv() == nil {
 		return false
 	}
-	return isNamed(sig.Recv().Type(), modulePath+"/internal/sim", "Proc")
+	return IsNamed(sig.Recv().Type(), ModulePath+"/internal/sim", "Proc")
 }
 
 // costParam identifies one cost-like parameter of a module function.
@@ -67,14 +67,14 @@ type costParam struct {
 
 // checkCostConst runs the typed costliteral analyzer.
 func checkCostConst(ctx *modCtx) ([]lint.Finding, []Suppression) {
-	funcs := allFuncs(ctx.pkgs)
+	funcs := AllFuncs(ctx.pkgs)
 
 	// Fixpoint: a parameter is cost-like when its function passes it whole
 	// (modulo parens and conversions) to Delay or to an already cost-like
 	// parameter. Thin wrappers of wrappers converge in a few rounds.
 	costLike := make(map[costParam]bool)
-	paramIndex := func(fn funcDecl, v *types.Var) int {
-		sig := fn.obj.Type().(*types.Signature)
+	paramIndex := func(fn FuncDecl, v *types.Var) int {
+		sig := fn.Obj.Type().(*types.Signature)
 		for i := 0; i < sig.Params().Len(); i++ {
 			if sig.Params().At(i) == v {
 				return i
@@ -85,18 +85,18 @@ func checkCostConst(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	for changed := true; changed; {
 		changed = false
 		for _, fd := range funcs {
-			info := fd.pkg.Info
-			ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			info := fd.Pkg.Info
+			ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
-				callee := calleeFunc(info, call)
+				callee := CalleeFunc(info, call)
 				if callee == nil {
 					return true
 				}
 				for i, arg := range call.Args {
-					v := identObj(info, unwrap(info, arg))
+					v := IdentObj(info, Unwrap(info, arg))
 					if v == nil {
 						continue
 					}
@@ -106,7 +106,7 @@ func checkCostConst(ctx *modCtx) ([]lint.Finding, []Suppression) {
 					}
 					sunk := (isDelaySink(callee) && i == 0) ||
 						costLike[costParam{fn: callee, idx: i}]
-					key := costParam{fn: fd.obj, idx: pi}
+					key := costParam{fn: fd.Obj, idx: pi}
 					if sunk && !costLike[key] {
 						costLike[key] = true
 						changed = true
@@ -121,16 +121,16 @@ func checkCostConst(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	// code. Zero is exempt: `Delay(0)` is an explicit no-op, not a cost.
 	var out []lint.Finding
 	for _, fd := range funcs {
-		if !inCostScopeTyped(fd.file) {
+		if !inCostScopeTyped(fd.File) {
 			continue
 		}
-		info := fd.pkg.Info
-		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		info := fd.Pkg.Info
+		ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			callee := calleeFunc(info, call)
+			callee := CalleeFunc(info, call)
 			if callee == nil {
 				return true
 			}
@@ -156,7 +156,7 @@ func checkCostConst(ctx *modCtx) ([]lint.Finding, []Suppression) {
 					dest = fmt.Sprintf("cost parameter %d of %s", i, callee.Name())
 				}
 				out = append(out, lint.Finding{
-					File: fd.file, Line: ctx.m.Fset.Position(arg.Pos()).Line,
+					File: fd.File, Line: ctx.m.Fset.Position(arg.Pos()).Line,
 					Analyzer: "costliteral",
 					Msg: fmt.Sprintf("%s %s passed to %s; route it through the cost model (internal/mach/costs.go)",
 						what, tv.Value.ExactString(), dest),

@@ -14,12 +14,12 @@ import (
 	"strings"
 )
 
-// modulePath is the import path of the module this checker analyzes. The
+// ModulePath is the import path of the module this checker analyzes. The
 // loader is module-aware so it stays stdlib-only: the source importer that
 // ships with go/importer resolves GOROOT packages but knows nothing about
 // modules, so imports under this prefix are typechecked from the local
 // tree instead.
-const modulePath = "shootdown"
+const ModulePath = "shootdown"
 
 // Package is one typechecked package of the module.
 type Package struct {
@@ -137,23 +137,23 @@ func (m *Module) packageDirs() ([]string, error) {
 func (m *Module) importPathOf(dir string) string {
 	rel, err := filepath.Rel(m.Root, dir)
 	if err != nil || rel == "." {
-		return modulePath
+		return ModulePath
 	}
-	return modulePath + "/" + filepath.ToSlash(rel)
+	return ModulePath + "/" + filepath.ToSlash(rel)
 }
 
 // dirOf maps a module import path to its absolute directory.
 func (m *Module) dirOf(path string) string {
-	if path == modulePath {
+	if path == ModulePath {
 		return m.Root
 	}
-	return filepath.Join(m.Root, filepath.FromSlash(strings.TrimPrefix(path, modulePath+"/")))
+	return filepath.Join(m.Root, filepath.FromSlash(strings.TrimPrefix(path, ModulePath+"/")))
 }
 
 // Import implements types.Importer: module-internal paths load from the
 // local tree; everything else delegates to the GOROOT source importer.
 func (m *Module) Import(path string) (*types.Package, error) {
-	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+	if path == ModulePath || strings.HasPrefix(path, ModulePath+"/") {
 		p, err := m.load(path)
 		if err != nil {
 			return nil, err
@@ -228,7 +228,7 @@ func (m *Module) LoadFixture(file string) (*Package, error) {
 		rel = filepath.Base(full)
 	}
 	p := &Package{
-		Path:      modulePath + "/fixture/" + f.Name.Name,
+		Path:      ModulePath + "/fixture/" + f.Name.Name,
 		Dir:       filepath.ToSlash(filepath.Dir(rel)),
 		Files:     []*ast.File{f},
 		FileNames: []string{filepath.ToSlash(rel)},

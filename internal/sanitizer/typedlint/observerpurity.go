@@ -34,10 +34,10 @@ import (
 //     designed purpose. Direct writes through the parameter are still
 //     flagged, same as the syntactic tier.
 var pureDeclPkgs = []string{
-	modulePath + "/internal/race",
-	modulePath + "/internal/trace",
-	modulePath + "/internal/stats",
-	modulePath + "/internal/sanitizer",
+	ModulePath + "/internal/race",
+	ModulePath + "/internal/trace",
+	ModulePath + "/internal/stats",
+	ModulePath + "/internal/sanitizer",
 }
 
 func inPurePkg(fn *types.Func) bool {
@@ -56,11 +56,11 @@ func inPurePkg(fn *types.Func) bool {
 // checkObserverPurityTyped runs the typed observer-purity analyzer.
 func checkObserverPurityTyped(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	mut := buildMutatingSummaries(ctx)
-	impls := buildImplMap(ctx)
+	impls := BuildImplMap(ctx.pkgs)
 	var out []lint.Finding
-	for _, fd := range allFuncs(ctx.pkgs) {
-		info := fd.pkg.Info
-		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+	for _, fd := range AllFuncs(ctx.pkgs) {
+		info := fd.Pkg.Info
+		ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
 			for _, h := range hookLits(info, n) {
 				out = append(out, checkHookLit(ctx, fd, h, mut, impls)...)
 			}
@@ -100,7 +100,7 @@ func hookLits(info *types.Info, n ast.Node) []hookInstall {
 		if !ok {
 			return nil
 		}
-		named := namedType(tv.Type)
+		named := NamedType(tv.Type)
 		if named == nil {
 			return nil
 		}
@@ -118,7 +118,7 @@ func hookLits(info *types.Info, n ast.Node) []hookInstall {
 			}
 		}
 	case *ast.CallExpr:
-		fn := calleeFunc(info, v)
+		fn := CalleeFunc(info, v)
 		if fn == nil {
 			return nil
 		}
@@ -138,8 +138,8 @@ func hookLits(info *types.Info, n ast.Node) []hookInstall {
 }
 
 // checkHookLit flags impure statements inside one hook literal.
-func checkHookLit(ctx *modCtx, fd funcDecl, h hookInstall, mut map[*types.Func]bool, impls map[*types.Func][]*types.Func) []lint.Finding {
-	info := fd.pkg.Info
+func checkHookLit(ctx *modCtx, fd FuncDecl, h hookInstall, mut map[*types.Func]bool, impls map[*types.Func][]*types.Func) []lint.Finding {
+	info := fd.Pkg.Info
 
 	// Taint: the hook's parameters, plus locals derived from them.
 	taint := make(map[*types.Var]bool)
@@ -166,7 +166,7 @@ func checkHookLit(ctx *modCtx, fd funcDecl, h hookInstall, mut map[*types.Func]b
 				if src == nil || !taint[src] {
 					continue
 				}
-				dst := identObj(info, as.Lhs[i])
+				dst := IdentObj(info, as.Lhs[i])
 				if dst != nil && !taint[dst] {
 					taint[dst] = true
 					changed = true
@@ -179,7 +179,7 @@ func checkHookLit(ctx *modCtx, fd funcDecl, h hookInstall, mut map[*types.Func]b
 	var out []lint.Finding
 	report := func(pos token.Pos, target, how string) {
 		out = append(out, lint.Finding{
-			File: fd.file, Line: ctx.m.Fset.Position(pos).Line,
+			File: fd.File, Line: ctx.m.Fset.Position(pos).Line,
 			Analyzer: "observerpurity",
 			Msg:      fmt.Sprintf("hook mutates observed state %q %s; observers must be purely observational", target, how),
 		})
@@ -218,7 +218,7 @@ func checkHookLit(ctx *modCtx, fd funcDecl, h hookInstall, mut map[*types.Func]b
 			if h.boot {
 				return true // boot hooks attach instrumentation by design
 			}
-			fn := calleeFunc(info, v)
+			fn := CalleeFunc(info, v)
 			if fn == nil || !isMutating(fn) {
 				return true
 			}
@@ -239,15 +239,15 @@ func checkHookLit(ctx *modCtx, fd funcDecl, h hookInstall, mut map[*types.Func]b
 // methods write through their receiver — directly (field assignment or
 // ++/--) or by calling another mutating method on receiver-rooted state.
 func buildMutatingSummaries(ctx *modCtx) map[*types.Func]bool {
-	funcs := allFuncs(ctx.pkgs)
+	funcs := AllFuncs(ctx.pkgs)
 	mut := make(map[*types.Func]bool)
 	for changed := true; changed; {
 		changed = false
 		for _, fd := range funcs {
-			if mut[fd.obj] {
+			if mut[fd.Obj] {
 				continue
 			}
-			sig := fd.obj.Type().(*types.Signature)
+			sig := fd.Obj.Type().(*types.Signature)
 			if sig.Recv() == nil {
 				continue
 			}
@@ -256,7 +256,7 @@ func buildMutatingSummaries(ctx *modCtx) map[*types.Func]bool {
 				continue
 			}
 			if methodMutates(fd, recvVar, mut) {
-				mut[fd.obj] = true
+				mut[fd.Obj] = true
 				changed = true
 			}
 		}
@@ -265,24 +265,24 @@ func buildMutatingSummaries(ctx *modCtx) map[*types.Func]bool {
 }
 
 // receiverVar returns the *types.Var bound to fd's receiver name.
-func receiverVar(fd funcDecl) *types.Var {
-	if fd.decl.Recv == nil || len(fd.decl.Recv.List) == 0 {
+func receiverVar(fd FuncDecl) *types.Var {
+	if fd.Decl.Recv == nil || len(fd.Decl.Recv.List) == 0 {
 		return nil
 	}
-	names := fd.decl.Recv.List[0].Names
+	names := fd.Decl.Recv.List[0].Names
 	if len(names) == 0 {
 		return nil // anonymous receiver cannot be written through
 	}
-	v, _ := fd.pkg.Info.Defs[names[0]].(*types.Var)
+	v, _ := fd.Pkg.Info.Defs[names[0]].(*types.Var)
 	return v
 }
 
 // methodMutates reports whether fd writes through recvVar under the
 // current fixpoint state.
-func methodMutates(fd funcDecl, recvVar *types.Var, mut map[*types.Func]bool) bool {
-	info := fd.pkg.Info
+func methodMutates(fd FuncDecl, recvVar *types.Var, mut map[*types.Func]bool) bool {
+	info := fd.Pkg.Info
 	found := false
-	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
 		if found {
 			return false
 		}
@@ -312,7 +312,7 @@ func methodMutates(fd funcDecl, recvVar *types.Var, mut map[*types.Func]bool) bo
 				return false
 			}
 		case *ast.CallExpr:
-			fn := calleeFunc(info, v)
+			fn := CalleeFunc(info, v)
 			if fn == nil || !mut[fn] {
 				return true
 			}

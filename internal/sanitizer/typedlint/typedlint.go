@@ -1,17 +1,8 @@
 // Package typedlint holds the type-checked analysis tier behind
 // `tlbcheck -vet` and cmd/tlbvet. Where internal/sanitizer/lint works on a
 // single file's syntax, this package typechecks the whole module (stdlib
-// only: go/types plus the GOROOT source importer) and runs dataflow
-// analyses on intraprocedural CFGs:
+// only: go/types plus the GOROOT source importer) and runs typed analyses:
 //
-//   - flushobligation: every value of type mm.FlushRange returned by a
-//     module call must reach a shootdown discharge (kernel.Flusher's
-//     FlushAfter, or a callee proven to discharge it) on every path, be
-//     returned to the caller, or carry an "obligation-transferred:" marker.
-//   - lockorder: a static lockdep over the call graph — acquisition-order
-//     cycles between mm.RWSem classes are reported without running a
-//     single seed, complementing the runtime lockdep in internal/sanitizer
-//     which only sees executed orders.
 //   - costliteral: the typed successor of the syntactic pass — named
 //     constants and thin Delay wrappers no longer escape, because sinks
 //     are found by callee identity and arguments by constant value.
@@ -20,6 +11,11 @@
 //   - observerpurity: hook/observer/probe literals must not mutate
 //     simulated state even through method calls or aliases, using
 //     module-wide mutating-method summaries.
+//
+// The package also owns the module loader and the shared typed helpers
+// (FuncDecl enumeration, marker index, callee resolution) that the deeper
+// internal/sanitizer/ssa tier builds on. The CFG/SSA dataflow analyzers —
+// flushobligation, lockorder, ipistate, detflow — live there.
 //
 // Findings reuse lint.Finding and are sorted by file, line and analyzer,
 // so output is byte-identical no matter how the caller schedules the work.
@@ -51,6 +47,9 @@ type Suppression struct {
 type Result struct {
 	Findings     []lint.Finding
 	Suppressions []Suppression
+	// FuncsVisited counts the function declarations the analyzers walked;
+	// coverage-floor tests compare deeper tiers against it.
+	FuncsVisited int
 }
 
 // Check loads the enclosing module and runs every typed analyzer.
@@ -83,13 +82,11 @@ func CheckFixture(m *Module, file string) (*Result, error) {
 // restricted to that package's files (fixture mode); module-wide context
 // (summaries, call graph) still spans all of pkgs.
 func run(m *Module, pkgs []*Package, only *Package) *Result {
-	ctx := &modCtx{m: m, pkgs: pkgs, markers: collectMarkers(m.Fset, pkgs)}
-	res := &Result{}
+	ctx := &modCtx{m: m, pkgs: pkgs, markers: CollectMarkers(m.Fset, pkgs)}
+	res := &Result{FuncsVisited: len(AllFuncs(pkgs))}
 	for _, an := range []func(*modCtx) ([]lint.Finding, []Suppression){
 		checkDeterminismTyped,
 		checkCostConst,
-		checkFlushObligation,
-		checkLockOrder,
 		checkObserverPurityTyped,
 	} {
 		fs, sups := an(ctx)
@@ -97,24 +94,17 @@ func run(m *Module, pkgs []*Package, only *Package) *Result {
 		res.Suppressions = append(res.Suppressions, sups...)
 	}
 	if only != nil {
-		res.Findings = filterByFiles(res.Findings, only.FileNames)
-		res.Suppressions = filterSupsByFiles(res.Suppressions, only.FileNames)
+		res.Findings = FilterByFiles(res.Findings, only.FileNames)
+		res.Suppressions = FilterSupsByFiles(res.Suppressions, only.FileNames)
 	}
-	sortFindings(res.Findings)
-	sort.Slice(res.Suppressions, func(i, j int) bool {
-		a, b := res.Suppressions[i], res.Suppressions[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Analyzer < b.Analyzer
-	})
+	SortFindings(res.Findings)
+	SortSuppressions(res.Suppressions)
 	return res
 }
 
-func sortFindings(fs []lint.Finding) {
+// SortFindings orders findings by file, line, analyzer and message, the
+// canonical report order every tier emits.
+func SortFindings(fs []lint.Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		if fs[i].File != fs[j].File {
 			return fs[i].File < fs[j].File
@@ -129,7 +119,22 @@ func sortFindings(fs []lint.Finding) {
 	})
 }
 
-func filterByFiles(fs []lint.Finding, files []string) []lint.Finding {
+// SortSuppressions orders suppressions by file, line and analyzer.
+func SortSuppressions(sups []Suppression) {
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// FilterByFiles keeps only findings located in the given files.
+func FilterByFiles(fs []lint.Finding, files []string) []lint.Finding {
 	allowed := make(map[string]bool, len(files))
 	for _, f := range files {
 		allowed[f] = true
@@ -143,7 +148,8 @@ func filterByFiles(fs []lint.Finding, files []string) []lint.Finding {
 	return out
 }
 
-func filterSupsByFiles(sups []Suppression, files []string) []Suppression {
+// FilterSupsByFiles keeps only suppressions located in the given files.
+func FilterSupsByFiles(sups []Suppression, files []string) []Suppression {
 	allowed := make(map[string]bool, len(files))
 	for _, f := range files {
 		allowed[f] = true
@@ -161,26 +167,34 @@ func filterSupsByFiles(sups []Suppression, files []string) []Suppression {
 type modCtx struct {
 	m    *Module
 	pkgs []*Package
-	// markers maps file → line → obligation-transferred reason. A marker
-	// covers its own line and the line below it (doc-comment style).
-	markers map[string]map[int]string
+	// markers indexes obligation-transferred comments by file and line.
+	markers MarkerIndex
 }
 
-const transferMarker = "obligation-transferred:"
+// TransferMarker is the comment marker waiving a flush obligation; kept
+// here (not in the ssa tier) because marker collection is shared.
+const TransferMarker = "obligation-transferred:"
 
-// collectMarkers indexes every "obligation-transferred:" comment.
-func collectMarkers(fset *token.FileSet, pkgs []*Package) map[string]map[int]string {
-	out := make(map[string]map[int]string)
+// MarkerIndex maps file → line → obligation-transferred reason. A marker
+// covers its own line and the line below it (doc-comment style).
+type MarkerIndex map[string]map[int]string
+
+// CollectMarkers indexes every "obligation-transferred:" comment.
+func CollectMarkers(fset *token.FileSet, pkgs []*Package) MarkerIndex {
+	out := make(MarkerIndex)
 	for _, p := range pkgs {
 		for i, f := range p.Files {
 			rel := p.FileNames[i]
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					idx := strings.Index(c.Text, transferMarker)
-					if idx < 0 {
+					// Only a comment that *starts* with the marker counts;
+					// prose that merely mentions the marker string (docs,
+					// quoted examples) is not a waiver.
+					text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+					if !strings.HasPrefix(text, TransferMarker) {
 						continue
 					}
-					reason := strings.TrimSpace(c.Text[idx+len(transferMarker):])
+					reason := strings.TrimSpace(text[len(TransferMarker):])
 					if out[rel] == nil {
 						out[rel] = make(map[int]string)
 					}
@@ -192,10 +206,10 @@ func collectMarkers(fset *token.FileSet, pkgs []*Package) map[string]map[int]str
 	return out
 }
 
-// markerFor returns the obligation-transferred reason covering line (the
-// marker may sit on the line itself or on the line above).
-func (ctx *modCtx) markerFor(file string, line int) (string, bool) {
-	lines := ctx.markers[file]
+// For returns the obligation-transferred reason covering line (the marker
+// may sit on the line itself or on the line above).
+func (mi MarkerIndex) For(file string, line int) (string, bool) {
+	lines := mi[file]
 	if lines == nil {
 		return "", false
 	}
@@ -206,10 +220,14 @@ func (ctx *modCtx) markerFor(file string, line int) (string, bool) {
 	return r, ok
 }
 
+func (ctx *modCtx) markerFor(file string, line int) (string, bool) {
+	return ctx.markers.For(file, line)
+}
+
 // --- shared typed helpers ---
 
-// fileOf returns the file (and its module-relative name) containing pos.
-func (p *Package) fileOf(pos token.Pos) (*ast.File, string) {
+// FileOf returns the file (and its module-relative name) containing pos.
+func (p *Package) FileOf(pos token.Pos) (*ast.File, string) {
 	for i, f := range p.Files {
 		if f.FileStart <= pos && pos <= f.FileEnd {
 			return f, p.FileNames[i]
@@ -218,9 +236,9 @@ func (p *Package) fileOf(pos token.Pos) (*ast.File, string) {
 	return nil, ""
 }
 
-// unwrap strips parentheses and value-preserving conversions, so
+// Unwrap strips parentheses and value-preserving conversions, so
 // "uint64(x)" and "(x)" alias x for whole-argument matching.
-func unwrap(info *types.Info, e ast.Expr) ast.Expr {
+func Unwrap(info *types.Info, e ast.Expr) ast.Expr {
 	for {
 		switch v := e.(type) {
 		case *ast.ParenExpr:
@@ -238,10 +256,10 @@ func unwrap(info *types.Info, e ast.Expr) ast.Expr {
 	}
 }
 
-// calleeFunc resolves a call to its *types.Func (methods, interface
+// CalleeFunc resolves a call to its *types.Func (methods, interface
 // methods and plain functions). Returns nil for builtins, conversions and
 // function-typed values.
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		if fn, ok := info.Uses[fun].(*types.Func); ok {
@@ -260,9 +278,9 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
-// identObj resolves an expression to the variable object it denotes
+// IdentObj resolves an expression to the variable object it denotes
 // (plain identifiers only; selectors and index expressions return nil).
-func identObj(info *types.Info, e ast.Expr) *types.Var {
+func IdentObj(info *types.Info, e ast.Expr) *types.Var {
 	id, ok := ast.Unparen(e).(*ast.Ident)
 	if !ok {
 		return nil
@@ -271,8 +289,8 @@ func identObj(info *types.Info, e ast.Expr) *types.Var {
 	return v
 }
 
-// namedType unwraps pointers and returns the named type of t, or nil.
-func namedType(t types.Type) *types.Named {
+// NamedType unwraps pointers and returns the named type of t, or nil.
+func NamedType(t types.Type) *types.Named {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
 	}
@@ -280,28 +298,28 @@ func namedType(t types.Type) *types.Named {
 	return n
 }
 
-// isNamed reports whether t (after pointer unwrap) is the named type
+// IsNamed reports whether t (after pointer unwrap) is the named type
 // pkgPath.name.
-func isNamed(t types.Type, pkgPath, name string) bool {
-	n := namedType(t)
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := NamedType(t)
 	if n == nil || n.Obj().Pkg() == nil {
 		return false
 	}
 	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
 }
 
-// funcDecl pairs a declaration with its package for module-wide passes.
-type funcDecl struct {
-	pkg  *Package
-	file string
-	decl *ast.FuncDecl
-	obj  *types.Func
+// FuncDecl pairs a declaration with its package for module-wide passes.
+type FuncDecl struct {
+	Pkg  *Package
+	File string
+	Decl *ast.FuncDecl
+	Obj  *types.Func
 }
 
-// allFuncs lists every function declaration with a body across pkgs, in
+// AllFuncs lists every function declaration with a body across pkgs, in
 // deterministic (package, file, source) order.
-func allFuncs(pkgs []*Package) []funcDecl {
-	var out []funcDecl
+func AllFuncs(pkgs []*Package) []FuncDecl {
+	var out []FuncDecl
 	for _, p := range pkgs {
 		for i, f := range p.Files {
 			for _, d := range f.Decls {
@@ -313,16 +331,68 @@ func allFuncs(pkgs []*Package) []funcDecl {
 				if obj == nil {
 					continue
 				}
-				out = append(out, funcDecl{pkg: p, file: p.FileNames[i], decl: fd, obj: obj})
+				out = append(out, FuncDecl{Pkg: p, File: p.FileNames[i], Decl: fd, Obj: obj})
 			}
 		}
 	}
 	return out
 }
 
-// inFixture reports whether a module-relative file path is a typedlint
+// BuildImplMap maps each interface method declared in the module to the
+// concrete module methods implementing it.
+func BuildImplMap(pkgs []*Package) map[*types.Func][]*types.Func {
+	out := make(map[*types.Func][]*types.Func)
+	var ifaces []*types.Named
+	for _, p := range pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok {
+				if _, isIface := n.Underlying().(*types.Interface); isIface {
+					ifaces = append(ifaces, n)
+				}
+			}
+		}
+	}
+	for _, p := range pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			for _, in := range ifaces {
+				iface := in.Underlying().(*types.Interface)
+				if !types.Implements(types.NewPointer(named), iface) {
+					continue
+				}
+				for i := 0; i < iface.NumMethods(); i++ {
+					m := iface.Method(i)
+					impl, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, p.Types, m.Name())
+					if fn, ok := impl.(*types.Func); ok {
+						out[m] = append(out[m], fn)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// InFixture reports whether a module-relative file path is a sanitizer
 // testdata fixture; fixtures opt into the scoped analyzers regardless of
 // directory, so firing tests can live under testdata.
-func inFixture(rel string) bool {
-	return strings.Contains(rel, "sanitizer/typedlint/testdata/")
+func InFixture(rel string) bool {
+	return strings.Contains(rel, "sanitizer/typedlint/testdata/") ||
+		strings.Contains(rel, "sanitizer/ssa/testdata/")
 }

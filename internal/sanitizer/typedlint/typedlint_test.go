@@ -48,47 +48,6 @@ func countBy(fs []lint.Finding, analyzer string) int {
 	return n
 }
 
-func TestFlushObligationFixtureFires(t *testing.T) {
-	res := checkFixture(t, "bad_flushobligation.go")
-	if got := countBy(res.Findings, "flushobligation"); got != 1 {
-		t.Fatalf("flushobligation findings = %d, want exactly 1: %v", got, res.Findings)
-	}
-	if len(res.Findings) != 1 {
-		t.Fatalf("total findings = %d, want 1: %v", len(res.Findings), res.Findings)
-	}
-	if !strings.Contains(res.Findings[0].Msg, "as.Unmap") {
-		t.Fatalf("finding should name the creating call: %v", res.Findings[0])
-	}
-}
-
-func TestFlushObligationGoodFixtureClean(t *testing.T) {
-	res := checkFixture(t, "good_flushobligation.go")
-	if len(res.Findings) != 0 {
-		t.Fatalf("good fixture should be clean, got %v", res.Findings)
-	}
-	if len(res.Suppressions) != 1 {
-		t.Fatalf("suppressions = %d, want exactly 1 (the marker): %v", len(res.Suppressions), res.Suppressions)
-	}
-	if s := res.Suppressions[0]; s.Analyzer != "flushobligation" || !strings.Contains(s.Reason, "full-flushes") {
-		t.Fatalf("unexpected suppression: %+v", s)
-	}
-}
-
-func TestLockOrderFixtureFires(t *testing.T) {
-	res := checkFixture(t, "bad_lockorder.go")
-	if got := countBy(res.Findings, "lockorder"); got != 1 {
-		t.Fatalf("lockorder findings = %d, want exactly 1: %v", got, res.Findings)
-	}
-	f := res.Findings[0]
-	if !strings.Contains(f.Msg, "cycle") || !strings.Contains(f.Msg, "twoLocks.a") || !strings.Contains(f.Msg, "twoLocks.b") {
-		t.Fatalf("cycle finding should name both lock classes: %v", f)
-	}
-}
-
-// TestCostConstTypedCatchesWhatSyntacticMisses is the regression fixture
-// for the tier delta: the syntactic pass only matches integer literals at
-// the call site, so a named constant — direct or through a thin wrapper —
-// reports zero there and exactly two here.
 func TestCostConstTypedCatchesWhatSyntacticMisses(t *testing.T) {
 	res := checkFixture(t, "bad_costconst.go")
 	if got := countBy(res.Findings, "costliteral"); got != 2 {

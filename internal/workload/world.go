@@ -48,10 +48,8 @@ func (m Mode) String() string {
 // to every machine an experiment creates. Hooks must be observational:
 // they may install observers but not advance simulated time.
 //
-// parallel-safe: SetBootHook is called only while the scheduler pool is
-// idle (before a suite's fan-out starts); during fan-out the hook is
-// read-only, and the hook body itself must be safe for concurrent worlds
-// (guard any shared accumulator with a mutex).
+// Writes go through SetBootHook's save/restore discipline, proven
+// whole-program by the ssa tier's parallelsafe analyzer.
 var bootHook func(*World)
 
 // SetBootHook installs fn as the world boot hook and returns a restore
@@ -67,9 +65,8 @@ func SetBootHook(fn func(*World)) (restore func()) {
 // — experiments, tlbcheck, tlbfuzz — without threading a spec through
 // every cell constructor.
 //
-// parallel-safe: SetFaultSpec is called only while the scheduler pool is
-// idle (before a suite's fan-out starts); during fan-out the spec is
-// read-only, and each world gets its own fault.Plane.
+// Writes go through SetFaultSpec's save/restore discipline, proven
+// whole-program by the ssa tier's parallelsafe analyzer.
 var worldFaults fault.Spec
 
 // SetFaultSpec installs spec as the schedule for every subsequently booted

@@ -51,16 +51,28 @@ go vet ./...
 echo "==> tlbcheck -lint ./..."
 go run ./cmd/tlbcheck -lint ./...
 
-# The whole static tier runs before the long sanitize/race-model suites:
-# a typed-analysis finding should fail the gate in seconds, not after the
-# simulations. Findings (and documented suppressions) land in
-# VET_findings.txt so CI can publish them next to the bench artifact.
-echo "==> tlbvet (typed static analysis)"
-if ! go run ./cmd/tlbvet -suppressions > VET_findings.txt 2>&1; then
-    cat VET_findings.txt
+# The whole static tier — typedlint plus the ssa analyzers (flush
+# obligations, lock order, the ipistate shootdown DFA, the detflow
+# nondeterminism-taint proof, the parallelsafe restore-discipline proof)
+# — runs before the long sanitize/race-model suites: a finding should
+# fail the gate in seconds, not after the simulations. The
+# machine-readable report lands in VET_findings.json as a CI artifact,
+# and the tier carries a wall-clock budget: the whole-program analyses
+# must stay interactive (< 60s) or they will rot out of the edit loop.
+echo "==> tlbvet (typed + ssa static analysis)"
+vet_start=$(date +%s)
+if ! go run ./cmd/tlbvet -json > VET_findings.json 2> VET_errors.txt; then
+    cat VET_errors.txt VET_findings.json
     exit 1
 fi
-cat VET_findings.txt
+rm -f VET_errors.txt
+cat VET_findings.json
+vet_elapsed=$(( $(date +%s) - vet_start ))
+echo "tlbvet tier completed in ${vet_elapsed}s"
+if [ "$vet_elapsed" -ge 60 ]; then
+    echo "vet budget gate: static tier took ${vet_elapsed}s, budget is <60s"
+    exit 1
+fi
 
 echo "==> tlbcheck (sanitized experiment suite)"
 go run ./cmd/tlbcheck -quick -v
