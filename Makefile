@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet vetjson sanitize racemodel faultcheck fuzz cover bench check clean
+.PHONY: all build test race lint vet vetjson xval sanitize racemodel faultcheck fuzz cover bench check clean
 
 all: build
 
@@ -16,21 +16,33 @@ test:
 race:
 	$(GO) test -race ./...
 
-## lint: gofmt + go vet + both static tiers (syntactic tlbcheck -lint, typed tlbvet)
-lint: vet
+## lint: toolchain gates first (gofmt, go vet), then the custom tiers
+## (syntactic tlbcheck -lint, typed+ssa tlbvet) — a stock-tool finding
+## should fail before any whole-program analysis spins up
+lint:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/tlbcheck -lint ./...
+	$(GO) run ./cmd/tlbvet
 
 ## vet: both type-checked analysis tiers (typedlint + the ssa IR analyzers:
-## flush obligations, lock order, ipistate DFA, detflow taint, parallelsafe)
+## flush obligations, lock order, ipistate DFA, detflow taint, parallelsafe,
+## mhp may-happen-in-parallel, lockset race-discipline proofs)
 vet:
 	$(GO) run ./cmd/tlbvet
 
 ## vetjson: machine-readable vet report (the VET_findings.json CI artifact)
 vetjson:
 	$(GO) run ./cmd/tlbvet -json > VET_findings.json || { cat VET_findings.json; exit 1; }
+
+## xval: race cross-validation table (the RACE_XVAL.txt CI artifact) —
+## every dynamic-race-model field with its static discharge status
+xval:
+	$(GO) run ./cmd/tlbvet -xval RACE_XVAL.txt
+	@cat RACE_XVAL.txt
+	@if grep -q 'unproven' RACE_XVAL.txt; then \
+		echo "xval gate: a race-instrumented field has no static discharge proof"; exit 1; fi
 
 ## sanitize: run the experiment suite under the shadow-oracle checker
 sanitize:
@@ -50,9 +62,10 @@ fuzz:
 	$(GO) run ./cmd/tlbfuzz -runs 50
 	$(GO) run ./cmd/tlbfuzz -runs 25 -faults heavy
 
-## cover: coverage summary for the fault plane and the layers it perturbs
+## cover: coverage summary for the fault plane, the layers it perturbs,
+## and the dynamic race model the static lockset tier cross-validates
 cover:
-	$(GO) test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/
+	$(GO) test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ ./internal/race/
 	$(GO) tool cover -func=coverage.out
 
 ## bench: parallel-harness wall-clock + event-loop allocs -> BENCH_parallel.json

@@ -25,8 +25,10 @@
 // disguised banned imports, hooks that mutate observed state — and
 // internal/sanitizer/ssa — undischarged flush obligations, static
 // lock-order cycles, the ipistate shootdown-lifecycle DFA, the detflow
-// nondeterminism-taint proof, and the parallelsafe restore-discipline
-// proof, all interprocedural over an SSA IR.
+// nondeterminism-taint proof, the parallelsafe restore-discipline proof,
+// and the concurrency-proof pair (mhp may-happen-in-parallel contexts
+// plus lockset discharge proofs for every race-instrumented field), all
+// interprocedural over an SSA IR.
 //
 // Usage:
 //

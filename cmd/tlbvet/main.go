@@ -12,12 +12,22 @@
 //   - ipistate: typestate DFA for the shootdown request lifecycle
 //     (new → kicked → waited → acked/timeout-recovery → discharged,
 //     with deferred-discharge and enqueue-transfer edges)
+//   - mhp: may-happen-in-parallel contexts over every spawn edge
+//     (Engine.Go procs, Task bodies, IPI handlers, deferred-flush
+//     closures, sched pool fan-out); blocking calls in IPI-handler
+//     context are findings
+//   - lockset: RacerD-style discharge proofs for every field the dynamic
+//     race model instruments (internal/race.Registry): atomic hooks,
+//     CPU confinement, ack ordering, single-writer epochs. The seeded
+//     BrokenEarlyAck violation must surface as exactly one witness; the
+//     per-entry statuses are the RACE_XVAL cross-validation artifact
 //   - detflow: nondeterminism-taint — time.Now, math/rand, map-range
 //     order and select arms must never reach simulated state, digests,
 //     stats or event timestamps
 //   - parallelsafe: whole-program restore-discipline proof for
 //     package-level vars in simulated packages
 //   - stalemarker: suppression markers nothing consumed are findings
+//     ("obligation-transferred:" and "lock-free-by-design:" alike)
 //   - costliteral: constant cycle costs (including named constants and
 //     thin Delay wrappers) outside the cost model
 //   - determinism: banned imports (time, math/rand) by path, catching
@@ -27,7 +37,9 @@
 //
 // Output is sorted by file, line and analyzer, so it is byte-identical
 // regardless of scheduling (-parallel only changes wall clock, never
-// bytes). Exit status: 0 clean, 1 findings, 2 on a load/typecheck error.
+// bytes); per-analyzer wall-clock timings appear only in a footer after
+// the deterministic report (and as timings_ms in -json). Exit status:
+// 0 clean, 1 findings, 2 on a load/typecheck error.
 //
 // Usage:
 //
@@ -35,6 +47,7 @@
 //	tlbvet -json            # machine-readable report (CI artifact)
 //	tlbvet -parallel 8      # fan the tiers out over 8 workers
 //	tlbvet -suppressions    # also list documented suppressions
+//	tlbvet -xval FILE       # write the race cross-validation table
 package main
 
 import (
@@ -42,6 +55,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"shootdown/internal/sanitizer/lint"
 	"shootdown/internal/sanitizer/ssa"
@@ -54,9 +69,18 @@ import (
 type report struct {
 	Findings     []lint.Finding          `json:"findings"`
 	Suppressions []typedlint.Suppression `json:"suppressions"`
+	// Witnesses are expected rediscoveries of config-seeded faults (the
+	// lockset tier's BrokenEarlyAck cross-validation).
+	Witnesses []lint.Finding `json:"witnesses"`
+	// XVal is the race cross-validation table: one row per registry
+	// entry with its static discharge status.
+	XVal []ssa.XValRow `json:"xval"`
 	// FuncsVisited records per-analyzer whole-program coverage for the
 	// ssa tier, so dashboards can spot a silently narrowed walk.
 	FuncsVisited map[string]int `json:"funcs_visited"`
+	// TimingsMS is per-analyzer wall-clock milliseconds across both
+	// tiers. Diagnostics only: never part of the sorted report sections.
+	TimingsMS map[string]float64 `json:"timings_ms"`
 }
 
 func main() {
@@ -64,6 +88,7 @@ func main() {
 		sups     = flag.Bool("suppressions", false, "list documented suppressions after findings")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
 		parallel = flag.Int("parallel", 0, "worker count for fanning out the analysis tiers (0 = GOMAXPROCS)")
+		xvalOut  = flag.String("xval", "", "write the race cross-validation table (RACE_XVAL) to this file")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
@@ -78,24 +103,45 @@ func main() {
 	rep := report{
 		Findings:     []lint.Finding{},
 		Suppressions: []typedlint.Suppression{},
+		Witnesses:    []lint.Finding{},
+		TimingsMS:    make(map[string]float64),
 	}
 	results := sched.Collect(2, func(i int) *report {
 		if i == 0 {
 			r := typedlint.CheckModule(m)
-			return &report{Findings: r.Findings, Suppressions: r.Suppressions}
+			return &report{Findings: r.Findings, Suppressions: r.Suppressions, TimingsMS: r.Timings}
 		}
 		r := ssa.CheckModule(m)
-		return &report{Findings: r.Findings, Suppressions: r.Suppressions, FuncsVisited: r.FuncsVisited}
+		return &report{
+			Findings: r.Findings, Suppressions: r.Suppressions,
+			Witnesses: r.Witnesses, XVal: r.XVal,
+			FuncsVisited: r.FuncsVisited, TimingsMS: r.Timings,
+		}
 	})
 	for _, r := range results {
 		rep.Findings = append(rep.Findings, r.Findings...)
 		rep.Suppressions = append(rep.Suppressions, r.Suppressions...)
+		rep.Witnesses = append(rep.Witnesses, r.Witnesses...)
+		if r.XVal != nil {
+			rep.XVal = r.XVal
+		}
 		if r.FuncsVisited != nil {
 			rep.FuncsVisited = r.FuncsVisited
+		}
+		for name, ms := range r.TimingsMS {
+			rep.TimingsMS[name] += ms
 		}
 	}
 	typedlint.SortFindings(rep.Findings)
 	typedlint.SortSuppressions(rep.Suppressions)
+	typedlint.SortFindings(rep.Witnesses)
+
+	if *xvalOut != "" {
+		if err := os.WriteFile(*xvalOut, []byte(renderXVal(rep)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tlbvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -113,14 +159,59 @@ func main() {
 	for _, f := range rep.Findings {
 		fmt.Println(f)
 	}
+	for _, w := range rep.Witnesses {
+		fmt.Printf("%s:%d: %s: witness: %s\n", w.File, w.Line, w.Analyzer, w.Msg)
+	}
 	if *sups {
 		for _, s := range rep.Suppressions {
 			fmt.Printf("%s:%d: %s: suppressed: %s\n", s.File, s.Line, s.Analyzer, s.Reason)
 		}
 	}
+	printTimings(rep.TimingsMS)
 	if len(rep.Findings) > 0 {
 		fmt.Fprintf(os.Stderr, "tlbvet: %d finding(s)\n", len(rep.Findings))
 		os.Exit(1)
 	}
 	fmt.Println("tlbvet: clean")
+}
+
+// printTimings emits the wall-clock footer, sorted by analyzer name so
+// the footer shape (though not its numbers) is stable.
+func printTimings(ms map[string]float64) {
+	if len(ms) == 0 {
+		return
+	}
+	names := make([]string, 0, len(ms))
+	total := 0.0
+	for name, v := range ms {
+		names = append(names, name)
+		total += v
+	}
+	sort.Strings(names)
+	fmt.Println("--- timings (wall clock, not part of the report) ---")
+	for _, name := range names {
+		fmt.Printf("%-16s %8.1fms\n", name, ms[name])
+	}
+	fmt.Printf("%-16s %8.1fms\n", "total", total)
+}
+
+// renderXVal formats the cross-validation table published as
+// RACE_XVAL.txt: one row per race-registry entry. CI fails on any
+// "unproven" row — a field the dynamic model instruments that the static
+// tier cannot discharge.
+func renderXVal(rep report) string {
+	var b strings.Builder
+	b.WriteString("# RACE_XVAL: static discharge status of every dynamic-race-model instrumented field\n")
+	b.WriteString("# entry | variable | discipline | status | proof\n")
+	for _, r := range rep.XVal {
+		v := r.Var
+		if v == "" {
+			v = "-"
+		}
+		fmt.Fprintf(&b, "%s | %s | %s | %s | %s\n", r.Key, v, r.Discipline, r.Status, r.Detail)
+	}
+	for _, w := range rep.Witnesses {
+		fmt.Fprintf(&b, "witness | %s:%d | %s\n", w.File, w.Line, w.Msg)
+	}
+	return b.String()
 }

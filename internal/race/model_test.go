@@ -202,6 +202,35 @@ func TestCumulativeSuiteRaceFree(t *testing.T) {
 	}
 }
 
+// TestSuiteVariablesAllRegistered is the dynamic half of the race
+// cross-validation contract: every variable a full-optimization checked
+// run actually creates must resolve to an entry in the instrumented-field
+// registry, so the static lockset tier (which proves the registry) can
+// never silently miss a location the dynamic model watches.
+func TestSuiteVariablesAllRegistered(t *testing.T) {
+	d, _, _ := runStress(t, true, core.All(), true)
+	names := d.VarNames()
+	if len(names) == 0 {
+		t.Fatal("checked run created no variables")
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		f, ok := race.LookupVar(name)
+		if !ok {
+			t.Errorf("dynamic variable %q has no registry entry", name)
+			continue
+		}
+		seen[f.Key] = true
+	}
+	// And the run must exercise the core of the registry (the kernel
+	// fields every schedule touches), so the test cannot pass vacuously.
+	for _, key := range []string{"cpu.runq", "cpu.tlbgen", "mm.tlb_gen", "mm.cpumask", "smp.csq"} {
+		if !seen[key] {
+			t.Errorf("registry entry %q never instantiated by the suite", key)
+		}
+	}
+}
+
 // TestCheckedRunCycleIdentical asserts the detector is observational: the
 // same workload ends at the same simulated cycle with the same protocol
 // stats whether or not a detector is attached.

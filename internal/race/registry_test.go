@@ -1,0 +1,263 @@
+package race
+
+import (
+	"strings"
+	"testing"
+
+	"shootdown/internal/sim"
+)
+
+func TestRegistryWellFormed(t *testing.T) {
+	seenKey := map[string]bool{}
+	seenVar := map[string]bool{}
+	valid := map[string]bool{
+		DiscAtomic: true, DiscConfined: true, DiscAckOrdered: true, DiscEpoch: true,
+	}
+	prev := ""
+	for _, f := range Registry() {
+		if f.Key == "" || seenKey[f.Key] {
+			t.Errorf("missing or duplicate key %q", f.Key)
+		}
+		seenKey[f.Key] = true
+		if f.Key < prev {
+			t.Errorf("registry out of order at %q (after %q)", f.Key, prev)
+		}
+		prev = f.Key
+		if f.Var != "" {
+			if seenVar[f.Var] {
+				t.Errorf("%s: duplicate var pattern %q", f.Key, f.Var)
+			}
+			seenVar[f.Var] = true
+		}
+		if !valid[f.Discipline] {
+			t.Errorf("%s: unknown discipline %q", f.Key, f.Discipline)
+		}
+		if f.Owner == "" || f.Struct == "" || f.Doc == "" {
+			t.Errorf("%s: incomplete entry %+v", f.Key, f)
+		}
+		if f.Discipline == DiscAckOrdered && (f.Guard == "" || f.GuardStruct == "") {
+			t.Errorf("%s: ack-ordered entry needs a guard field", f.Key)
+		}
+	}
+}
+
+func TestMatchVar(t *testing.T) {
+	cases := []struct {
+		pat, name string
+		want      bool
+	}{
+		{"mm%d.tlb_gen", "mm12.tlb_gen", true},
+		{"mm%d.tlb_gen", "mm.tlb_gen", false},
+		{"mm%d.tlb_gen", "mm1.tlb_gen.x", false},
+		{"mm%d.tlb_gen", "mm1x.tlb_gen", false},
+		{"csq[%d]", "csq[0]", true},
+		{"csq[%d]", "csq[31]", true},
+		{"csq[%d]", "csq[]", false},
+		{"cpu%d.runq", "cpu7.runq", true},
+		{"cpu%d.runq", "cpu7.lazy", false},
+	}
+	for _, c := range cases {
+		if got := (Field{Var: c.pat}).MatchVar(c.name); got != c.want {
+			t.Errorf("MatchVar(%q, %q) = %v, want %v", c.pat, c.name, got, c.want)
+		}
+	}
+}
+
+func TestLookupVarResolvesUniquely(t *testing.T) {
+	// Each pattern instantiated with a concrete index must resolve back
+	// to exactly its own entry (no pattern shadows another).
+	for _, f := range Registry() {
+		if f.Var == "" {
+			continue
+		}
+		name := strings.ReplaceAll(f.Var, "%d", "3")
+		got, ok := LookupVar(name)
+		if !ok || got.Key != f.Key {
+			t.Errorf("LookupVar(%q) = %q, %v; want %q", name, got.Key, ok, f.Key)
+		}
+		// The pattern literal itself (as it appears in Sprintf call
+		// sites) must also resolve, for the static tier.
+		got, ok = LookupVar(f.Var)
+		if !ok || got.Key != f.Key {
+			t.Errorf("LookupVar(%q) = %q, %v; want %q", f.Var, got.Key, ok, f.Key)
+		}
+	}
+	if _, ok := LookupVar("mm1.unheard-of"); ok {
+		t.Error("LookupVar matched an unregistered name")
+	}
+}
+
+func TestVarNamesSortedAndRegistered(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	eng.Go("a", func(p *sim.Proc) {
+		d.AtomicRMW("mm1.tlb_gen")
+		d.AtomicRMW("csq[2]")
+		d.WriteVar("mm1.pt-nodes")
+		d.ReadVar("cpu0.tlbgen")
+	})
+	eng.Run()
+	names := d.VarNames()
+	want := []string{"cpu0.tlbgen", "csq[2]", "mm1.pt-nodes", "mm1.tlb_gen"}
+	if len(names) != len(want) {
+		t.Fatalf("VarNames = %v, want %v", names, want)
+	}
+	for i, n := range names {
+		if n != want[i] {
+			t.Fatalf("VarNames = %v, want %v", names, want)
+		}
+		if _, ok := LookupVar(n); !ok {
+			t.Errorf("detector variable %q has no registry entry", n)
+		}
+	}
+	if (*Detector)(nil).VarNames() != nil {
+		t.Error("nil detector must report no variables")
+	}
+}
+
+// --- vector-clock / epoch edge cases exposed by the registry export ---
+
+func TestVClockJoinGrowsShorterClock(t *testing.T) {
+	var a, b vclock
+	b.set(3, 7) // b is longer than a
+	a.join(b)
+	if a.get(3) != 7 || len(a) != 4 {
+		t.Fatalf("join did not widen: %v", a)
+	}
+	a.set(1, 9)
+	b.join(a)
+	if b.get(1) != 9 || b.get(3) != 7 {
+		t.Fatalf("join lost entries: %v", b)
+	}
+	// Join never decreases a component.
+	var c vclock
+	c.set(3, 100)
+	c.join(b)
+	if c.get(3) != 100 {
+		t.Fatalf("join decreased a component: %v", c)
+	}
+}
+
+func TestReadSharedThenOrderedWrite(t *testing.T) {
+	// Two concurrent readers (read-shared state), then a writer that is
+	// ordered after BOTH via separate sync edges: no race. FastTrack's
+	// read vector must retain both reader epochs for this to hold.
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	s1, s2 := d.NewSync("r1-done"), d.NewSync("r2-done")
+	eng.Go("r1", func(p *sim.Proc) { d.ReadVar("x"); d.Release(s1) })
+	eng.Go("r2", func(p *sim.Proc) { d.ReadVar("x"); d.Release(s2) })
+	eng.Go("w", func(p *sim.Proc) {
+		p.Delay(10)
+		d.Acquire(s1)
+		d.Acquire(s2)
+		d.WriteVar("x")
+	})
+	eng.Run()
+	if sum := d.Finish(); !sum.OK() {
+		t.Fatalf("ordered read-shared write reported racy: %+v", sum.Races)
+	}
+}
+
+func TestReadSharedWriteRacesUnjoinedReader(t *testing.T) {
+	// Same shape, but the writer joins only one of the two readers: the
+	// unjoined reader's epoch must surface as a read-write race.
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	s1 := d.NewSync("r1-done")
+	eng.Go("r1", func(p *sim.Proc) { d.ReadVar("x"); d.Release(s1) })
+	eng.Go("r2", func(p *sim.Proc) { d.ReadVar("x") })
+	eng.Go("w", func(p *sim.Proc) {
+		p.Delay(10)
+		d.Acquire(s1)
+		d.WriteVar("x")
+	})
+	eng.Run()
+	sum := d.Finish()
+	if len(sum.Races) != 1 || sum.Races[0].Kind != KindReadWrite {
+		t.Fatalf("want exactly one read-write race, got %+v", sum.Races)
+	}
+	if !strings.Contains(sum.Races[0].Msg, "r2") {
+		t.Fatalf("race does not blame the unjoined reader: %s", sum.Races[0].Msg)
+	}
+}
+
+func TestWriteResetsReadVector(t *testing.T) {
+	// After an ordered write, the stale reader epochs must be cleared:
+	// a second writer ordered only after the first write must not be
+	// blamed for pre-write reads.
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	s1, s2, sw := d.NewSync("r1"), d.NewSync("r2"), d.NewSync("w1")
+	eng.Go("r1", func(p *sim.Proc) { d.ReadVar("x"); d.Release(s1) })
+	eng.Go("r2", func(p *sim.Proc) { d.ReadVar("x"); d.Release(s2) })
+	eng.Go("w1", func(p *sim.Proc) {
+		p.Delay(10)
+		d.Acquire(s1)
+		d.Acquire(s2)
+		d.WriteVar("x")
+		d.Release(sw)
+	})
+	eng.Go("w2", func(p *sim.Proc) {
+		p.Delay(20)
+		d.Acquire(sw) // ordered after w1 only, not after the readers
+		d.WriteVar("x")
+	})
+	eng.Run()
+	if sum := d.Finish(); !sum.OK() {
+		t.Fatalf("stale read epochs survived a write: %+v", sum.Races)
+	}
+}
+
+func TestEpochOnePerVariableReporting(t *testing.T) {
+	// A variable reports at most once, and the write epoch advances so a
+	// later ordered access is judged against the *new* write.
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	s := d.NewSync("h")
+	eng.Go("a", func(p *sim.Proc) { d.WriteVar("x"); d.Release(s) })
+	eng.Go("b", func(p *sim.Proc) {
+		d.WriteVar("x") // racy with a's write
+		d.WriteVar("x") // second report suppressed
+		p.Delay(10)
+		d.Acquire(s)
+		d.ReadVar("x")
+	})
+	eng.Run()
+	sum := d.Finish()
+	if len(sum.Races) != 1 {
+		t.Fatalf("want one capped report per variable, got %+v", sum.Races)
+	}
+}
+
+func TestAtomicRMWChainsHandOff(t *testing.T) {
+	// RMW acquire+release chains a hand-off across three threads: the
+	// final plain access is ordered through the atomic's clock alone.
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	eng.Go("a", func(p *sim.Proc) { d.WriteVar("payload"); d.AtomicRMW("q") })
+	eng.Go("b", func(p *sim.Proc) { p.Delay(10); d.AtomicRMW("q") })
+	eng.Go("c", func(p *sim.Proc) { p.Delay(20); d.AtomicRMW("q"); d.ReadVar("payload") })
+	eng.Run()
+	if sum := d.Finish(); !sum.OK() {
+		t.Fatalf("RMW chain did not order the payload: %+v", sum.Races)
+	}
+	if st := d.Finish().Stats; st.AtomicRMWs != 3 {
+		t.Fatalf("want 3 RMWs, got %+v", st)
+	}
+}
+
+func TestAtomicLoadAloneDoesNotRelease(t *testing.T) {
+	// A load is acquire-only: a reader's load must not publish its own
+	// clock, so a later writer that only loads the atomic stays racy
+	// with the reader's plain write.
+	eng := sim.NewEngine(1)
+	d := New(eng)
+	eng.Go("a", func(p *sim.Proc) { d.WriteVar("x"); d.AtomicLoad("flag") })
+	eng.Go("b", func(p *sim.Proc) { p.Delay(10); d.AtomicLoad("flag"); d.WriteVar("x") })
+	eng.Run()
+	sum := d.Finish()
+	if len(sum.Races) != 1 || sum.Races[0].Kind != KindWriteWrite {
+		t.Fatalf("acquire-only load created a spurious edge: %+v", sum.Races)
+	}
+}

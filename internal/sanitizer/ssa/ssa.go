@@ -38,6 +38,7 @@ package ssa
 import (
 	"go/token"
 	"go/types"
+	"time"
 
 	"shootdown/internal/sanitizer/lint"
 	"shootdown/internal/sanitizer/typedlint"
@@ -59,6 +60,7 @@ type (
 const (
 	modPath        = typedlint.ModulePath
 	transferMarker = typedlint.TransferMarker
+	lockFreeMarker = typedlint.LockFreeMarker
 )
 
 var (
@@ -79,10 +81,28 @@ func buildImplMap(pkgs []*Package) map[*types.Func][]*types.Func {
 type Result struct {
 	Findings     []lint.Finding
 	Suppressions []Suppression
+	// Witnesses are the expected rediscoveries of config-seeded faults:
+	// violations the lockset prover finds at deliberately broken sites
+	// (Config.BrokenEarlyAck). They are not findings — the breakage is
+	// intentional — but their exact count is part of the cross-validation
+	// contract with the dynamic race model.
+	Witnesses []lint.Finding
+	// XVal is the cross-validation report: one row per internal/race
+	// registry entry with its static discharge status.
+	XVal []XValRow
 	// FuncsVisited counts, per analyzer, the function declarations walked;
 	// the coverage-floor test asserts the whole-program analyzers visit at
 	// least as many functions as the typedlint tier.
 	FuncsVisited map[string]int
+	// Timings holds per-analyzer wall-clock milliseconds. Reports keep it
+	// out of the byte-identical sections: it is footer-only diagnostics.
+	Timings map[string]float64
+}
+
+// lockResult carries the lockset analyzer's extra outputs to Result.
+type lockResult struct {
+	witnesses []lint.Finding
+	xval      []XValRow
 }
 
 // modCtx is the shared context every analyzer receives.
@@ -96,21 +116,40 @@ type modCtx struct {
 	// usedMarkers records marker lines consumed as suppressions, keyed by
 	// file then marker line, so stalemarker can flag the rest.
 	usedMarkers map[string]map[int]bool
+	// lockMarkers/usedLockMarkers do the same for the lockset tier's
+	// "lock-free-by-design:" waivers.
+	lockMarkers     typedlint.MarkerIndex
+	usedLockMarkers map[string]map[int]bool
+	// lockRes is filled by checkLockset for run() to lift into Result.
+	lockRes *lockResult
 	// prog caches the whole-module SSA form shared by the analyzers.
 	prog *Program
+	// mhp caches the may-happen-in-parallel facts (built by checkMHP,
+	// reused by lockset's confinement and handler-reachability proofs).
+	mhp *mhpInfo
 }
 
 func (ctx *modCtx) markerFor(file string, line int) (string, bool) {
-	r, ok := ctx.markers.For(file, line)
+	return consumeMarker(ctx.markers, ctx.usedMarkers, file, line)
+}
+
+func (ctx *modCtx) lockMarkerFor(file string, line int) (string, bool) {
+	return consumeMarker(ctx.lockMarkers, ctx.usedLockMarkers, file, line)
+}
+
+// consumeMarker resolves a marker covering line and records the marker's
+// own line as consumed, so stalemarker can flag the rest.
+func consumeMarker(idx typedlint.MarkerIndex, used map[string]map[int]bool, file string, line int) (string, bool) {
+	r, ok := idx.For(file, line)
 	if ok {
 		ml := line
-		if _, direct := ctx.markers[file][line]; !direct {
+		if _, direct := idx[file][line]; !direct {
 			ml = line - 1
 		}
-		if ctx.usedMarkers[file] == nil {
-			ctx.usedMarkers[file] = make(map[int]bool)
+		if used[file] == nil {
+			used[file] = make(map[int]bool)
 		}
-		ctx.usedMarkers[file][ml] = true
+		used[file][ml] = true
 	}
 	return r, ok
 }
@@ -146,50 +185,79 @@ func CheckFixture(m *Module, file string) (*Result, error) {
 // (summaries, call graph) still spans all of pkgs.
 func run(m *Module, pkgs []*Package, only *Package) *Result {
 	ctx := &modCtx{
-		m:           m,
-		pkgs:        pkgs,
-		markers:     typedlint.CollectMarkers(m.Fset, pkgs),
-		visited:     make(map[string]int),
-		usedMarkers: make(map[string]map[int]bool),
+		m:               m,
+		pkgs:            pkgs,
+		markers:         typedlint.CollectMarkers(m.Fset, pkgs),
+		lockMarkers:     typedlint.CollectMarkersFor(m.Fset, pkgs, lockFreeMarker),
+		visited:         make(map[string]int),
+		usedMarkers:     make(map[string]map[int]bool),
+		usedLockMarkers: make(map[string]map[int]bool),
 	}
-	res := &Result{}
+	res := &Result{Timings: make(map[string]float64)}
 	// stalemarker must run last: it flags markers nothing else consumed.
-	for _, an := range []func(*modCtx) ([]lint.Finding, []Suppression){
-		checkFlushObligation,
-		checkLockOrder,
-		checkIPIState,
-		checkDetFlow,
-		checkParallelSafe,
-		checkStaleMarkers,
+	for _, an := range []struct {
+		name string
+		run  func(*modCtx) ([]lint.Finding, []Suppression)
+	}{
+		{"flushobligation", checkFlushObligation},
+		{"lockorder", checkLockOrder},
+		{"ipistate", checkIPIState},
+		{"detflow", checkDetFlow},
+		{"parallelsafe", checkParallelSafe},
+		{"mhp", checkMHP},
+		{"lockset", checkLockset},
+		{"stalemarker", checkStaleMarkers},
 	} {
-		fs, sups := an(ctx)
+		start := time.Now()
+		fs, sups := an.run(ctx)
+		res.Timings[an.name] += float64(time.Since(start).Nanoseconds()) / 1e6
 		res.Findings = append(res.Findings, fs...)
 		res.Suppressions = append(res.Suppressions, sups...)
+	}
+	if ctx.lockRes != nil {
+		res.Witnesses = ctx.lockRes.witnesses
+		res.XVal = ctx.lockRes.xval
 	}
 	res.FuncsVisited = ctx.visited
 	if only != nil {
 		res.Findings = typedlint.FilterByFiles(res.Findings, only.FileNames)
 		res.Suppressions = typedlint.FilterSupsByFiles(res.Suppressions, only.FileNames)
+		res.Witnesses = typedlint.FilterByFiles(res.Witnesses, only.FileNames)
 	}
 	typedlint.SortFindings(res.Findings)
 	typedlint.SortSuppressions(res.Suppressions)
+	typedlint.SortFindings(res.Witnesses)
 	return res
 }
 
-// checkStaleMarkers reports every "obligation-transferred:" marker that no
-// analyzer consumed as a suppression: a retired suppression is itself a
-// finding, so dead waivers cannot accumulate in the tree.
+// checkStaleMarkers reports every suppression marker that no analyzer
+// consumed: a retired suppression is itself a finding, so dead waivers
+// cannot accumulate in the tree. Both marker vocabularies are covered —
+// "obligation-transferred:" (flushobligation) and "lock-free-by-design:"
+// (lockset).
 func checkStaleMarkers(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	var findings []lint.Finding
-	for file, lines := range ctx.markers {
-		for line := range lines {
-			if ctx.usedMarkers[file][line] {
-				continue
+	for _, mk := range []struct {
+		idx    typedlint.MarkerIndex
+		used   map[string]map[int]bool
+		marker string
+		why    string
+	}{
+		{ctx.markers, ctx.usedMarkers, transferMarker,
+			"the flush obligation here is already proven discharged"},
+		{ctx.lockMarkers, ctx.usedLockMarkers, lockFreeMarker,
+			"the lockset tier proves this access disciplined without a waiver"},
+	} {
+		for file, lines := range mk.idx {
+			for line := range lines {
+				if mk.used[file][line] {
+					continue
+				}
+				findings = append(findings, lint.Finding{
+					File: file, Line: line, Analyzer: "stalemarker",
+					Msg: "stale \"" + mk.marker + "\" marker: " + mk.why + "; delete the marker",
+				})
 			}
-			findings = append(findings, lint.Finding{
-				File: file, Line: line, Analyzer: "stalemarker",
-				Msg: "stale \"" + transferMarker + "\" marker: the flush obligation here is already proven discharged; delete the marker",
-			})
 		}
 	}
 	return findings, nil

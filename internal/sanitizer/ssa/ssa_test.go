@@ -139,6 +139,101 @@ func TestDetFlowGoodFixtureClean(t *testing.T) {
 	}
 }
 
+func TestLocksetUnprovenAckFires(t *testing.T) {
+	res := checkFixture(t, "bad_lockset.go")
+	if got := countBy(res.Findings, "lockset"); got != 1 {
+		t.Fatalf("lockset findings = %d, want exactly 1: %v", got, res.Findings)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("total findings = %d, want 1: %v", len(res.Findings), res.Findings)
+	}
+	f := res.Findings[0]
+	if !strings.Contains(f.Msg, "mm.pt-nodes") || !strings.Contains(f.Msg, "FreedTables") {
+		t.Fatalf("finding should name the ack-ordered entry and its guard: %v", f)
+	}
+}
+
+func TestLocksetGoodFixtureClean(t *testing.T) {
+	res := checkFixture(t, "good_lockset.go")
+	if len(res.Findings) != 0 {
+		t.Fatalf("guarded fixture should be clean, got %v", res.Findings)
+	}
+	if len(res.Suppressions) != 1 {
+		t.Fatalf("suppressions = %d, want exactly 1 (the waiver): %v", len(res.Suppressions), res.Suppressions)
+	}
+	if s := res.Suppressions[0]; s.Analyzer != "lockset" || !strings.Contains(s.Reason, "scratch") {
+		t.Fatalf("unexpected suppression: %+v", s)
+	}
+}
+
+func TestMHPBlockingFixtureFires(t *testing.T) {
+	res := checkFixture(t, "bad_mhp.go")
+	if got := countBy(res.Findings, "mhp"); got != 1 {
+		t.Fatalf("mhp findings = %d, want exactly 1: %v", got, res.Findings)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("total findings = %d, want 1: %v", len(res.Findings), res.Findings)
+	}
+	f := res.Findings[0]
+	if !strings.Contains(f.Msg, "DownRead") || !strings.Contains(f.Msg, "IPI-handler") {
+		t.Fatalf("finding should name the blocking primitive and the context: %v", f)
+	}
+}
+
+func TestStaleLockMarkerFires(t *testing.T) {
+	res := checkFixture(t, "bad_lockmarker.go")
+	if got := countBy(res.Findings, "stalemarker"); got != 1 {
+		t.Fatalf("stalemarker findings = %d, want exactly 1: %v", got, res.Findings)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("total findings = %d, want 1: %v", len(res.Findings), res.Findings)
+	}
+	if !strings.Contains(res.Findings[0].Msg, "lock-free-by-design") {
+		t.Fatalf("finding should name the marker vocabulary: %v", res.Findings[0])
+	}
+}
+
+// TestLocksetBrokenEarlyAckWitness is the cross-validation contract: on
+// the clean module the lockset prover must rediscover the config-seeded
+// BrokenEarlyAck violation — as exactly one witness, on the same field
+// the dynamic race model blames (mm.pt-nodes), at the forced early-ack
+// assignment in core's Flusher — while producing zero findings.
+func TestLocksetBrokenEarlyAckWitness(t *testing.T) {
+	res := CheckModule(sharedModule(t))
+	if len(res.Findings) != 0 {
+		t.Fatalf("module should be clean, got %v", res.Findings)
+	}
+	if len(res.Witnesses) != 1 {
+		t.Fatalf("witnesses = %d, want exactly 1 (the seeded BrokenEarlyAck site): %v", len(res.Witnesses), res.Witnesses)
+	}
+	w := res.Witnesses[0]
+	if !strings.Contains(w.File, "internal/core/flusher.go") {
+		t.Fatalf("witness should sit in the Flusher: %v", w)
+	}
+	for _, want := range []string{"mm.pt-nodes", "BrokenEarlyAck", "FreedTables"} {
+		if !strings.Contains(w.Msg, want) {
+			t.Fatalf("witness message should mention %q: %v", want, w)
+		}
+	}
+}
+
+// TestXValAllProven asserts every race-registry entry is statically
+// discharged on the clean tree — the rows CI publishes as RACE_XVAL.txt.
+func TestXValAllProven(t *testing.T) {
+	res := CheckModule(sharedModule(t))
+	if len(res.XVal) == 0 {
+		t.Fatal("expected one XVal row per registry entry, got none")
+	}
+	for i, r := range res.XVal {
+		if r.Status != "proven" {
+			t.Errorf("entry %s: status = %q, want proven (%s)", r.Key, r.Status, r.Detail)
+		}
+		if i > 0 && res.XVal[i-1].Key >= r.Key {
+			t.Errorf("XVal rows out of order: %s before %s", res.XVal[i-1].Key, r.Key)
+		}
+	}
+}
+
 // TestRepoIsCleanWithoutWaivers is the tier's bar: the whole tree passes
 // every ssa analyzer with zero findings AND zero suppressions — the
 // parallel-safe markers the syntactic tier needed are gone, replaced by
@@ -163,7 +258,7 @@ func TestWholeProgramCoverageFloor(t *testing.T) {
 		t.Fatal("typedlint visited 0 functions — the floor itself is broken")
 	}
 	res := CheckModule(m)
-	for _, an := range []string{"ipistate", "detflow", "parallelsafe"} {
+	for _, an := range []string{"ipistate", "detflow", "parallelsafe", "mhp", "lockset"} {
 		if got := res.FuncsVisited[an]; got < floor {
 			t.Fatalf("%s visited %d functions, below the typedlint floor %d", an, got, floor)
 		}
@@ -175,6 +270,9 @@ func renderReport(res *Result) string {
 	var b strings.Builder
 	for _, f := range res.Findings {
 		fmt.Fprintln(&b, f.String())
+	}
+	for _, w := range res.Witnesses {
+		fmt.Fprintf(&b, "%s:%d: %s: witness: %s\n", w.File, w.Line, w.Analyzer, w.Msg)
 	}
 	for _, s := range res.Suppressions {
 		fmt.Fprintf(&b, "%s:%d: %s: suppressed: %s\n", s.File, s.Line, s.Analyzer, s.Reason)

@@ -1,0 +1,14 @@
+// Fixture: a stale lockset waiver. The marker below covers an access the
+// analyzers prove disciplined on their own (there is no detector call at
+// all), so nothing consumes it — stalemarker must report exactly one
+// finding pointing at the marker line.
+package lockmarkerfix
+
+func provenWithoutWaiver(xs []int) int {
+	// lock-free-by-design: retired waiver that nothing needs anymore.
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

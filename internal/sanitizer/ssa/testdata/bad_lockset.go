@@ -1,0 +1,31 @@
+// Fixture: an ack-ordering break the lockset analyzer must report as
+// exactly one finding. The kicked handler reads the freed page-table
+// location ("mm%d.pt-nodes", ack-ordered in the race registry), but the
+// early-ack flag passed to CallMany is an arbitrary caller-supplied
+// boolean — nothing proves it is off while FlushInfo.FreedTables is set,
+// so a responder's read no longer happens-before the initiator's
+// reclaim. Unlike the config-seeded BrokenEarlyAck variant, this unit
+// never consults the seed knob, so the violation is a real finding, not
+// a witness.
+package locksetfix
+
+import (
+	"fmt"
+
+	"shootdown/internal/core"
+	"shootdown/internal/mach"
+	"shootdown/internal/race"
+	"shootdown/internal/sim"
+	"shootdown/internal/smp"
+)
+
+func kickWithUnprovenAck(l *smp.Layer, d *race.Detector, p *sim.Proc, from mach.CPU,
+	targets mach.CPUMask, info *core.FlushInfo, wantEarly bool) {
+	rs := l.CallMany(p, from, targets, func(hp *sim.Proc, target mach.CPU, payload any) {
+		fi := payload.(*core.FlushInfo)
+		if fi.FreedTables {
+			d.ReadVar(fmt.Sprintf("mm%d.pt-nodes", fi.AS.ID))
+		}
+	}, info, wantEarly, nil)
+	l.WaitAll(p, from, rs)
+}

@@ -22,6 +22,10 @@ func checkDeterminismTyped(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	for _, p := range ctx.pkgs {
 		for i, f := range p.Files {
 			rel := p.FileNames[i]
+			if !lint.InDeterminismScope(rel) {
+				// The analyzer tier times itself; see lint.InDeterminismScope.
+				continue
+			}
 			for _, imp := range f.Imports {
 				path := strings.Trim(imp.Path.Value, `"`)
 				why, ok := bannedImports[path]

@@ -27,6 +27,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 
 	"shootdown/internal/sanitizer/lint"
 )
@@ -50,6 +51,11 @@ type Result struct {
 	// FuncsVisited counts the function declarations the analyzers walked;
 	// coverage-floor tests compare deeper tiers against it.
 	FuncsVisited int
+	// Timings holds per-analyzer wall-clock milliseconds, so the CI
+	// static-tier budget is attributable per checker. Wall-clock is
+	// nondeterministic by nature; reports keep it out of the sorted
+	// findings/suppressions sections that must stay byte-identical.
+	Timings map[string]float64
 }
 
 // Check loads the enclosing module and runs every typed analyzer.
@@ -83,13 +89,18 @@ func CheckFixture(m *Module, file string) (*Result, error) {
 // (summaries, call graph) still spans all of pkgs.
 func run(m *Module, pkgs []*Package, only *Package) *Result {
 	ctx := &modCtx{m: m, pkgs: pkgs, markers: CollectMarkers(m.Fset, pkgs)}
-	res := &Result{FuncsVisited: len(AllFuncs(pkgs))}
-	for _, an := range []func(*modCtx) ([]lint.Finding, []Suppression){
-		checkDeterminismTyped,
-		checkCostConst,
-		checkObserverPurityTyped,
+	res := &Result{FuncsVisited: len(AllFuncs(pkgs)), Timings: make(map[string]float64)}
+	for _, an := range []struct {
+		name string
+		fn   func(*modCtx) ([]lint.Finding, []Suppression)
+	}{
+		{"determinism", checkDeterminismTyped},
+		{"costconst", checkCostConst},
+		{"observerpurity", checkObserverPurityTyped},
 	} {
-		fs, sups := an(ctx)
+		start := time.Now()
+		fs, sups := an.fn(ctx)
+		res.Timings[an.name] += float64(time.Since(start).Nanoseconds()) / 1e6
 		res.Findings = append(res.Findings, fs...)
 		res.Suppressions = append(res.Suppressions, sups...)
 	}
@@ -175,12 +186,23 @@ type modCtx struct {
 // here (not in the ssa tier) because marker collection is shared.
 const TransferMarker = "obligation-transferred:"
 
-// MarkerIndex maps file → line → obligation-transferred reason. A marker
-// covers its own line and the line below it (doc-comment style).
+// LockFreeMarker is the comment marker waiving a lockset finding: it
+// documents why an access to shared state needs no lock/atomic/ownership
+// discharge. Like TransferMarker, an unconsumed one is a stalemarker
+// finding.
+const LockFreeMarker = "lock-free-by-design:"
+
+// MarkerIndex maps file → line → marker reason. A marker covers its own
+// line and the line below it (doc-comment style).
 type MarkerIndex map[string]map[int]string
 
 // CollectMarkers indexes every "obligation-transferred:" comment.
 func CollectMarkers(fset *token.FileSet, pkgs []*Package) MarkerIndex {
+	return CollectMarkersFor(fset, pkgs, TransferMarker)
+}
+
+// CollectMarkersFor indexes every comment starting with marker.
+func CollectMarkersFor(fset *token.FileSet, pkgs []*Package, marker string) MarkerIndex {
 	out := make(MarkerIndex)
 	for _, p := range pkgs {
 		for i, f := range p.Files {
@@ -191,10 +213,10 @@ func CollectMarkers(fset *token.FileSet, pkgs []*Package) MarkerIndex {
 					// prose that merely mentions the marker string (docs,
 					// quoted examples) is not a waiver.
 					text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
-					if !strings.HasPrefix(text, TransferMarker) {
+					if !strings.HasPrefix(text, marker) {
 						continue
 					}
-					reason := strings.TrimSpace(text[len(TransferMarker):])
+					reason := strings.TrimSpace(text[len(marker):])
 					if out[rel] == nil {
 						out[rel] = make(map[int]string)
 					}

@@ -445,7 +445,14 @@ func (l *Layer) HandleIPI(p *sim.Proc, cpu mach.CPU) {
 }
 
 // PendingOn returns the number of queued requests for cpu (for tests).
-func (l *Layer) PendingOn(cpu mach.CPU) int { return len(l.percpu[cpu].queue) }
+// The length peek is an acquire-side load of the call-single queue, like
+// llist_empty's READ_ONCE.
+func (l *Layer) PendingOn(cpu mach.CPU) int {
+	if l.rt != nil {
+		l.rt.AtomicLoad(l.csqVar(cpu))
+	}
+	return len(l.percpu[cpu].queue)
+}
 
 // Rekick re-sends the shootdown kick for every unacknowledged request in
 // reqs (recovery path: the initiator's ack wait timed out, so a kick may

@@ -9,15 +9,31 @@ cd "$(dirname "$0")/.."
 echo "==> go build ./..."
 go build ./...
 
+# Stock toolchain gates run before anything custom: a gofmt or go vet
+# finding should fail the gate before a single whole-program analysis or
+# simulation spins up.
+echo "==> gofmt"
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "gofmt needed on:"
+    echo "$fmt_out"
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
 echo "==> go test ./..."
 go test ./...
 
-# Coverage floor for the fault-injection plane and the layers it
-# perturbs: the recovery protocol (smp) and the faultable fabric (apic)
-# must stay testable in isolation, not only via end-to-end suites. The
-# per-package summary lands in COVERAGE.txt as a CI artifact.
-echo "==> coverage floor (internal/fault, internal/smp, internal/apic >= 80%)"
-go test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ > COVERAGE.txt
+# Coverage floor for the fault-injection plane, the layers it perturbs,
+# and the dynamic race model: the recovery protocol (smp), the faultable
+# fabric (apic) and the vector-clock detector (race) that the static
+# lockset tier cross-validates must stay testable in isolation, not only
+# via end-to-end suites. The per-package summary lands in COVERAGE.txt
+# as a CI artifact.
+echo "==> coverage floor (internal/fault, internal/smp, internal/apic, internal/race >= 80%)"
+go test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ ./internal/race/ > COVERAGE.txt
 go tool cover -func=coverage.out >> COVERAGE.txt
 cat COVERAGE.txt
 awk '
@@ -37,31 +53,21 @@ rm -f coverage.out
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> gofmt"
-fmt_out=$(gofmt -l .)
-if [ -n "$fmt_out" ]; then
-    echo "gofmt needed on:"
-    echo "$fmt_out"
-    exit 1
-fi
-
-echo "==> go vet ./..."
-go vet ./...
-
 echo "==> tlbcheck -lint ./..."
 go run ./cmd/tlbcheck -lint ./...
 
 # The whole static tier — typedlint plus the ssa analyzers (flush
 # obligations, lock order, the ipistate shootdown DFA, the detflow
-# nondeterminism-taint proof, the parallelsafe restore-discipline proof)
-# — runs before the long sanitize/race-model suites: a finding should
-# fail the gate in seconds, not after the simulations. The
+# nondeterminism-taint proof, the parallelsafe restore-discipline proof,
+# the mhp may-happen-in-parallel contexts and the lockset race-discipline
+# proofs) — runs before the long sanitize/race-model suites: a finding
+# should fail the gate in seconds, not after the simulations. The
 # machine-readable report lands in VET_findings.json as a CI artifact,
 # and the tier carries a wall-clock budget: the whole-program analyses
 # must stay interactive (< 60s) or they will rot out of the edit loop.
 echo "==> tlbvet (typed + ssa static analysis)"
 vet_start=$(date +%s)
-if ! go run ./cmd/tlbvet -json > VET_findings.json 2> VET_errors.txt; then
+if ! go run ./cmd/tlbvet -json -xval RACE_XVAL.txt > VET_findings.json 2> VET_errors.txt; then
     cat VET_errors.txt VET_findings.json
     exit 1
 fi
@@ -71,6 +77,18 @@ vet_elapsed=$(( $(date +%s) - vet_start ))
 echo "tlbvet tier completed in ${vet_elapsed}s"
 if [ "$vet_elapsed" -ge 60 ]; then
     echo "vet budget gate: static tier took ${vet_elapsed}s, budget is <60s"
+    exit 1
+fi
+
+# Cross-validation gate: RACE_XVAL.txt lists every field the dynamic
+# race model instruments alongside its static discharge status. Any
+# "unproven" row means a shared location the happens-before detector
+# watches at runtime that the lockset tier cannot prove disciplined —
+# the two models have diverged, and that is a gate failure, not a TODO.
+echo "==> race cross-validation (RACE_XVAL.txt)"
+cat RACE_XVAL.txt
+if grep -q 'unproven' RACE_XVAL.txt; then
+    echo "xval gate: a race-instrumented field has no static discharge proof"
     exit 1
 fi
 
