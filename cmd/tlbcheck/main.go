@@ -55,6 +55,7 @@ import (
 	"shootdown/internal/sanitizer/ssa"
 	"shootdown/internal/sanitizer/typedlint"
 	"shootdown/internal/sched"
+	"shootdown/internal/workload"
 )
 
 func main() {
@@ -68,6 +69,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-experiment progress")
 		parallel  = flag.Int("parallel", 0, "experiment-cell worker count (0 = GOMAXPROCS); reports are identical at any setting")
 		faults    = flag.String("faults", "none", "fault schedule for every simulated machine: a preset (none, light, heavy, drop, broken) and/or key=p[:max] overrides, e.g. 'light,drop=0.3'")
+		tlbmode   = flag.String("tlbmode", "", "shootdown dispatch tier override for every cell: sync or async (default: as each experiment configures)")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
@@ -76,6 +78,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlbcheck: %v\n", err)
 		os.Exit(2)
+	}
+	switch *tlbmode {
+	case "", "sync", "async":
+	default:
+		fmt.Fprintf(os.Stderr, "tlbcheck: -tlbmode must be sync or async\n")
+		os.Exit(2)
+	}
+	if *tlbmode != "" {
+		restore := workload.SetTLBMode(*tlbmode)
+		defer restore()
 	}
 
 	if *doLint {

@@ -47,6 +47,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-run summaries")
 		parallel = flag.Int("parallel", 0, "seeds fuzzed concurrently (0 = GOMAXPROCS); each seed is an isolated simulation")
 		faults   = flag.String("faults", "none", "fault schedule per run: a preset (none, light, heavy, drop, broken) and/or key=p[:max] overrides")
+		tlbmode  = flag.String("tlbmode", "auto", "shootdown dispatch tier: auto (seed-random), sync, or async")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
@@ -54,6 +55,12 @@ func main() {
 	spec, err := fault.Parse(*faults)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlbfuzz: %v\n", err)
+		os.Exit(2)
+	}
+	switch *tlbmode {
+	case "auto", "sync", "async":
+	default:
+		fmt.Fprintf(os.Stderr, "tlbfuzz: -tlbmode must be auto, sync or async\n")
 		os.Exit(2)
 	}
 
@@ -74,7 +81,7 @@ func main() {
 		summary string
 	}
 	results := sched.Collect(len(seeds), func(i int) result {
-		errs, summary := fuzzOne(seeds[i], *ops, *verbose, spec)
+		errs, summary := fuzzOne(seeds[i], *ops, *verbose, spec, *tlbmode)
 		return result{errs, summary}
 	})
 	failures := 0
@@ -84,7 +91,7 @@ func main() {
 		}
 		if len(res.errs) > 0 {
 			failures++
-			fmt.Fprintf(os.Stderr, "FAIL seed=%d (repro: %s):\n", seeds[i], reproLine(seeds[i], *ops, spec))
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d (repro: %s):\n", seeds[i], reproLine(seeds[i], *ops, spec, *tlbmode))
 			for _, e := range res.errs {
 				fmt.Fprintf(os.Stderr, "  %s\n", e)
 			}
@@ -117,9 +124,9 @@ func printSuppressionAudit() {
 	}
 }
 
-func randomConfig(r *sim.Rand) core.Config {
+func randomConfig(r *sim.Rand, tlbmode string) core.Config {
 	bits := r.Uint64()
-	return core.Config{
+	cfg := core.Config{
 		ConcurrentFlush:        bits&1 != 0,
 		EarlyAck:               bits&2 != 0,
 		CachelineConsolidation: bits&4 != 0,
@@ -127,17 +134,29 @@ func randomConfig(r *sim.Rand) core.Config {
 		AvoidCoWFlush:          bits&16 != 0,
 		UserspaceBatching:      bits&32 != 0,
 	}
+	// The async tier draws its bit from the same seed stream whatever the
+	// flag says, so a seed names one configuration; the flag then only
+	// forces the tier on top.
+	cfg.AsyncShootdown = bits&64 != 0
+	switch tlbmode {
+	case "sync":
+		cfg.AsyncShootdown = false
+	case "async":
+		cfg.AsyncShootdown = true
+	}
+	return cfg
 }
 
 // reproLine renders the one-line command that replays a failing run
-// byte-identically: same seed, same ops, same fault schedule, one worker.
-func reproLine(seed uint64, ops int, spec fault.Spec) string {
-	return fmt.Sprintf("tlbfuzz -faults %s -seed %d -ops %d -parallel 1", spec, seed, ops)
+// byte-identically: same seed, same ops, same fault schedule, same
+// dispatch tier, one worker.
+func reproLine(seed uint64, ops int, spec fault.Spec, tlbmode string) string {
+	return fmt.Sprintf("tlbfuzz -faults %s -tlbmode %s -seed %d -ops %d -parallel 1", spec, tlbmode, seed, ops)
 }
 
-func fuzzOne(seed uint64, opsPerThread int, verbose bool, spec fault.Spec) (errs []string, summary string) {
+func fuzzOne(seed uint64, opsPerThread int, verbose bool, spec fault.Spec, tlbmode string) (errs []string, summary string) {
 	r := sim.NewRand(seed)
-	cfg := randomConfig(r)
+	cfg := randomConfig(r, tlbmode)
 	pti := r.Uint64()&1 == 0
 
 	eng := sim.NewEngine(seed)
@@ -285,6 +304,11 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool, spec fault.Spec) (errs
 		summary = fmt.Sprintf("seed=%d cfg=%s pti=%v workers=%d: shootdowns=%d remote(sel=%d full=%d skip=%d) checked(hits=%d windows=%d) hb(acq=%d rel=%d races=%d) errs=%d",
 			seed, cfg, pti, nworkers, st.Shootdowns, st.RemoteSelective, st.RemoteFull, st.RemoteSkipped, cst.TLBHits, cst.ObligationsOpened,
 			rsum.Stats.Acquires, rsum.Stats.Releases, len(rsum.Races), len(errs))
+		if cfg.AsyncShootdown {
+			ss := k.SMP.Stats()
+			summary += fmt.Sprintf(" fabric(posts=%d coalesced=%d overflows=%d drains=%d rekicks=%d)",
+				ss.AsyncPosts, ss.AsyncCoalesced, ss.AsyncOverflows, ss.AsyncDrains, ss.AsyncRekicks)
+		}
 		if pl != nil {
 			fs := pl.Stats()
 			ss := k.SMP.Stats()

@@ -17,10 +17,11 @@ func TestReproLineCarriesFaultSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	line := reproLine(12345, 120, spec)
+	line := reproLine(12345, 120, spec, "async")
 	for _, want := range []string{
 		"tlbfuzz ",
 		"-faults " + spec.String(),
+		"-tlbmode async",
 		"-seed 12345",
 		"-ops 120",
 		"-parallel 1",
@@ -29,8 +30,8 @@ func TestReproLineCarriesFaultSchedule(t *testing.T) {
 			t.Errorf("repro line %q missing %q", line, want)
 		}
 	}
-	if got := reproLine(7, 10, fault.Spec{}); !strings.Contains(got, "-faults none") {
-		t.Errorf("fault-free repro line %q should spell out '-faults none'", got)
+	if got := reproLine(7, 10, fault.Spec{}, "auto"); !strings.Contains(got, "-faults none") || !strings.Contains(got, "-tlbmode auto") {
+		t.Errorf("fault-free repro line %q should spell out '-faults none' and '-tlbmode auto'", got)
 	}
 }
 
@@ -44,8 +45,8 @@ func TestFuzzOneDeterministicUnderFaults(t *testing.T) {
 		t.Fatal("heavy preset missing")
 	}
 	for _, seed := range []uint64{3, 101} {
-		errs1, sum1 := fuzzOne(seed, 40, true, spec)
-		errs2, sum2 := fuzzOne(seed, 40, true, spec)
+		errs1, sum1 := fuzzOne(seed, 40, true, spec, "auto")
+		errs2, sum2 := fuzzOne(seed, 40, true, spec, "auto")
 		if fmt.Sprint(errs1) != fmt.Sprint(errs2) {
 			t.Errorf("seed %d: errors differ between identical runs:\n  %v\n  %v", seed, errs1, errs2)
 		}
@@ -64,7 +65,7 @@ func TestFuzzOneCoherentUnderDropSchedule(t *testing.T) {
 	if !ok {
 		t.Fatal("drop preset missing")
 	}
-	errs, sum := fuzzOne(11, 40, true, spec)
+	errs, sum := fuzzOne(11, 40, true, spec, "auto")
 	if len(errs) != 0 {
 		t.Fatalf("coherence violated under drop schedule:\n  %s", strings.Join(errs, "\n  "))
 	}
@@ -81,13 +82,15 @@ func TestFuzzOneCoherentUnderDropSchedule(t *testing.T) {
 // so the CoW shootdown's completion must not close the merged window — the
 // initiator's stale write hit before that later flush is legal staleness,
 // not a violation. (Found by `tlbfuzz -runs 20 -faults heavy`; the seed
-// and spec below are the bisected minimal repro.)
+// and spec below are the bisected minimal repro. Pinned to -tlbmode sync:
+// the repro predates the async tier and sync reproduces its exact
+// configuration.)
 func TestFuzzOneOverlappingFlushWindows(t *testing.T) {
 	spec, err := fault.Parse("delay=0.5:8000,ackdelay=0.2:6000")
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	errs, _ := fuzzOne(8717488660339093609, 120, false, spec)
+	errs, _ := fuzzOne(8717488660339093609, 120, false, spec, "sync")
 	if len(errs) != 0 {
 		t.Fatalf("overlapping writeback/CoW windows misreported:\n  %s", strings.Join(errs, "\n  "))
 	}

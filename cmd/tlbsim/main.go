@@ -32,6 +32,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		parallel = flag.Int("parallel", 0, "experiment-cell worker count (0 = GOMAXPROCS); output is identical at any setting")
 		faults   = flag.String("faults", "none", "fault schedule for every simulated machine: a preset (none, light, heavy, drop, broken) and/or key=p[:max] overrides")
+		tlbmode  = flag.String("tlbmode", "", "shootdown dispatch tier override for every cell: sync or async (default: as each experiment configures)")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
@@ -40,6 +41,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlbsim: %v\n", err)
 		os.Exit(2)
+	}
+	switch *tlbmode {
+	case "", "sync", "async":
+	default:
+		fmt.Fprintf(os.Stderr, "tlbsim: -tlbmode must be sync or async\n")
+		os.Exit(2)
+	}
+	if *tlbmode != "" {
+		restore := workload.SetTLBMode(*tlbmode)
+		defer restore()
 	}
 	if !spec.Zero() || spec.NoRetry {
 		// Installed once, before any experiment boots a world; restored on

@@ -73,6 +73,25 @@ type Config struct {
 	// known-bad protocol variant to flag; tests assert it reports exactly
 	// one race.
 	BrokenEarlyAck bool
+	// AsyncShootdown routes non-table-freeing flushes through the
+	// queue-based asynchronous fabric (smp/fabric.go): the initiator
+	// posts the range to each target's per-CPU invalidation ring, kicks
+	// idle rings once, flushes locally, and returns without spinning;
+	// responders drain whole batches at IRQ entry and return-to-user and
+	// ack by sequence number. FreedTables flushes stay on the
+	// synchronous ack path — reclaiming page tables before every
+	// responder finished is never safe to defer, which also keeps the
+	// §3.2 ack-ordering proof intact. Incompatible with SerializedIPIs
+	// and LazyRemote (they model competing dispatch disciplines).
+	AsyncShootdown bool
+	// BrokenAckBeforeDrain makes the async drain applier defer the
+	// actual invalidations to lazy kernel-entry work, so the fabric's
+	// sequence ack — and the batch completion that closes the flush
+	// obligation window — fires before the flush lands. UNSAFE by
+	// design, BrokenEarlyAck-style: it exists so the sanitizer's
+	// deferred-discharge windows have a known-bad async variant to
+	// catch; tests assert exactly one stale-translation violation.
+	BrokenAckBeforeDrain bool
 }
 
 // Baseline returns the unmodified Linux protocol configuration.
@@ -118,7 +137,9 @@ func (c Config) String() string {
 	add(c.SerializedIPIs, "serialized")
 	add(c.LazyRemote, "lazy")
 	add(c.HWMessageIPI, "hwmsg")
+	add(c.AsyncShootdown, "async")
 	add(c.BrokenEarlyAck, "BROKEN-earlyack")
+	add(c.BrokenAckBeforeDrain, "BROKEN-ackdrain")
 	if out == "" {
 		return "baseline"
 	}
@@ -178,12 +199,27 @@ type Stats struct {
 	// ParavirtFullFlushes counts ranged flushes converted to full flushes
 	// by the §7 paravirtual fracture hint.
 	ParavirtFullFlushes uint64
+	// AsyncShootdowns counts flushes posted through the asynchronous
+	// fabric instead of the synchronous ack path.
+	AsyncShootdowns uint64
+	// AsyncSyncFallbacks counts flushes that stayed synchronous under
+	// AsyncShootdown because they freed page tables.
+	AsyncSyncFallbacks uint64
 }
 
 func (c Config) validateAgainst(consolidatedSMP bool) error {
 	if c.CachelineConsolidation != consolidatedSMP {
 		return fmt.Errorf("core: config consolidation=%v but SMP layer built with %v",
 			c.CachelineConsolidation, consolidatedSMP)
+	}
+	if c.AsyncShootdown && c.SerializedIPIs {
+		return fmt.Errorf("core: AsyncShootdown is incompatible with SerializedIPIs (competing dispatch disciplines)")
+	}
+	if c.AsyncShootdown && c.LazyRemote {
+		return fmt.Errorf("core: AsyncShootdown is incompatible with LazyRemote (competing dispatch disciplines)")
+	}
+	if c.BrokenAckBeforeDrain && !c.AsyncShootdown {
+		return fmt.Errorf("core: BrokenAckBeforeDrain requires AsyncShootdown")
 	}
 	return nil
 }

@@ -119,6 +119,11 @@ func NewFlusher(k *kernel.Kernel, cfg Config) (*Flusher, error) {
 	if cfg.SerializedIPIs {
 		f.ipiMtx = mm.NewRWSem(k.Eng, "smp_ipi_mtx")
 	}
+	if cfg.AsyncShootdown {
+		k.SMP.SetDrainApplier(f.drainApply)
+	} else {
+		k.SMP.SetDrainApplier(nil)
+	}
 	f.EnableRace()
 	return f, nil
 }
@@ -195,6 +200,18 @@ func (f *Flusher) FlushAfter(ctx *kernel.Ctx, as *mm.AddressSpace, fr mm.FlushRa
 		return
 	}
 
+	if f.Cfg.AsyncShootdown {
+		if !info.FreedTables {
+			f.asyncFlush(ctx, info, targets)
+			return
+		}
+		// Freed page tables must not be reclaimed until every responder
+		// flushed; deferring that through the fabric is never safe, so
+		// these flushes stay on the synchronous ack path below (which is
+		// also what keeps the §3.2 ack-ordering proof intact).
+		f.stats.AsyncSyncFallbacks++
+	}
+
 	if f.Cfg.LazyRemote {
 		// LATR-style extension: local flush now; remote flushes queued to
 		// run at each target's next kernel entry. No IPI, no wait — and
@@ -250,6 +267,121 @@ func (f *Flusher) FlushAfter(ctx *kernel.Ctx, as *mm.AddressSpace, fr mm.FlushRa
 	k.Trace.Record(c.ID, trace.ShootEnd, "all acks received")
 	f.notePTFree(info)
 	f.shootEnd(c.ID, info)
+}
+
+// asyncFlush is the fabric tier of FlushAfter: post the range to every
+// target's invalidation ring, kick once, flush locally, return. Nobody
+// spins; the batch completion (fired from the last-acking responder's
+// drain) discharges the initiator's flush obligation.
+func (f *Flusher) asyncFlush(ctx *kernel.Ctx, info *FlushInfo, targets mach.CPUMask) {
+	c, p, k := ctx.CPU, ctx.P, f.K
+	f.stats.Shootdowns++
+	f.stats.AsyncShootdowns++
+	from := c.ID
+	inv := smp.Inval{
+		AS: info.AS, ASID: uint32(info.AS.ID),
+		Start: info.Start, End: info.End, Stride: info.Stride.Bytes(),
+		GenLo: info.NewGen, GenHi: info.NewGen,
+		Full: info.Full,
+	}
+	k.SMP.PostAsync(p, from, targets, inv, func(*sim.Proc) {
+		// Runs in the last-acking responder's context; observational
+		// bookkeeping only.
+		k.Trace.Record(from, trace.ShootEnd, "async batch acked")
+		f.shootEnd(from, info)
+	})
+	k.Trace.Record(from, trace.IPISent, "async post to %v", targets)
+	f.localFlush(ctx, info, nil)
+	k.Trace.Record(from, trace.LocalFlush, "done (fabric in flight)")
+}
+
+// drainApply is the batch applier the fabric calls from DrainFabric, on
+// the draining CPU's proc. The real tier applies the invalidations
+// before the fabric acks. BrokenAckBeforeDrain instead defers the work
+// to lazy kernel-entry time, so the ack — and the batch completion that
+// closes the flush-obligation window — fires with the stale entries
+// still live; the sanitizer catches the resulting user-mode hit.
+func (f *Flusher) drainApply(p *sim.Proc, cpu mach.CPU, batch []smp.Inval) {
+	rc := f.K.CPU(cpu)
+	if f.Cfg.BrokenAckBeforeDrain {
+		rc.QueueLazyWork(func(p *sim.Proc) { f.applyBatch(p, rc, batch) })
+		return
+	}
+	f.applyBatch(p, rc, batch)
+}
+
+// applyBatch applies a drained fabric batch entry by entry, in posting
+// order — which is what lets applyInval's ranged path trust each
+// entry's generation run.
+func (f *Flusher) applyBatch(p *sim.Proc, rc *kernel.CPU, batch []smp.Inval) {
+	for i := range batch {
+		f.applyInval(p, rc, &batch[i])
+	}
+}
+
+// applyInval is the fabric counterpart of flushOnCPU. The GenLo/GenHi
+// contiguity invariant (smp.Inval) replaces the sync path's exact
+// one-generation check: an entry whose run starts at or below local+1
+// can be applied as a ranged flush landing exactly on GenHi, even when
+// the mm generation has moved past it — the newer generations are later
+// entries of the same drain (or later batches) and follow in order.
+func (f *Flusher) applyInval(p *sim.Proc, rc *kernel.CPU, inv *smp.Inval) {
+	k := f.K
+	if inv.AS == nil {
+		// flush_all collapse (ring overflow or watchdog degrade): no
+		// address-space precision left, so drop every non-global entry
+		// like a PCID-less CR3 write. Local generations stay put; each
+		// mm's next flush full-catches-up, which the dropped entries'
+		// generations already demanded.
+		p.Delay(k.Cost.CR3WriteFlush)
+		rc.TLB.FlushAllNonGlobal()
+		f.stats.RemoteFull++
+		k.Trace.Record(rc.ID, trace.RemoteFlush, "fabric flush_all")
+		return
+	}
+	as := inv.AS.(*mm.AddressSpace)
+	if rc.CurrentMM() != as {
+		// Switched out since posting; the switch-in generation check
+		// flushes before the mm's entries become reachable again.
+		f.stats.RemoteSkipped++
+		k.Trace.Record(rc.ID, trace.RemoteFlush, "fabric skip: mm not loaded")
+		return
+	}
+	p.Delay(k.Dir.Read(rc.ID, k.MMGenLine(as)))
+	mmGen := as.Gen()
+	local := rc.LocalGen(as)
+	switch {
+	case local >= inv.GenHi:
+		// A prior full catch-up already covered the whole run.
+		f.stats.RemoteSkipped++
+	case !inv.Full && local+1 >= inv.GenLo:
+		info := &FlushInfo{AS: as, Start: inv.Start, End: inv.End,
+			Stride: strideSize(inv.Stride), NewGen: inv.GenHi}
+		f.rangedFlush(p, rc, info, false)
+		rc.SetLocalGen(as, inv.GenHi)
+		f.stats.RemoteSelective++
+	default:
+		// A generation gap below the run (a dropped kick's entries were
+		// collapsed away, or the run started above local+1): full
+		// catch-up, straight to the current mm generation.
+		p.Delay(k.Cost.CR3WriteFlush)
+		rc.TLB.FlushPCID(as.KernelPCID)
+		if k.Cfg.PTI {
+			rc.DeferUserFullFlush()
+		}
+		rc.SetLocalGen(as, mmGen)
+		f.stats.RemoteFull++
+	}
+	p.Delay(k.Dir.Write(rc.ID, k.SMP.GenLine(rc.ID)))
+	k.Trace.Record(rc.ID, trace.RemoteFlush, "fabric mm %d through gen %d", as.ID, inv.GenHi)
+}
+
+// strideSize maps an Inval's stride in bytes back to the page size.
+func strideSize(bytes uint64) pagetable.Size {
+	if bytes == pagetable.PageSize2M {
+		return pagetable.Size2M
+	}
+	return pagetable.Size4K
 }
 
 // notePTFree reports the initiator's reclamation of freed page-table pages

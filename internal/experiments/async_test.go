@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAsyncSweepContent checks the ablation's semantics: the async tier
+// must reduce initiator-side cycles on the heavy-shootdown microbench
+// cells, every fault-sweep digest must match the synchronous fault-free
+// baseline, the drop schedule must drive the watchdog's rekick path,
+// and no batch may be left open at quiesce.
+func TestAsyncSweepContent(t *testing.T) {
+	tabs := AsyncSweep(Options{Quick: true, Seed: 1})
+	if len(tabs) != 3 {
+		t.Fatalf("tables = %d, want micro+sysbench+faults", len(tabs))
+	}
+	micro, faults := tabs[0], tabs[2]
+
+	// Micro table: 2 configs x 2 PTE counts; async rows carry the
+	// reduction vs the sync cell, negative on every placement.
+	if len(micro.Rows) != 4 {
+		t.Fatalf("micro rows = %d, want 4", len(micro.Rows))
+	}
+	for _, row := range micro.Rows {
+		if !strings.Contains(row[0], "async") {
+			continue
+		}
+		for _, cell := range row[2:] {
+			if !strings.Contains(cell, "(-") {
+				t.Errorf("async cell %q (config %s, %s PTEs) shows no initiator reduction", cell, row[0], row[1])
+			}
+		}
+	}
+
+	// Fault table: faults scenario digest match-sync posts ... open-batches.
+	num := func(row []string, col int) uint64 {
+		t.Helper()
+		v, err := strconv.ParseUint(row[col], 10, 64)
+		if err != nil {
+			t.Fatalf("cell %d (%q) not a count: %v", col, row[col], err)
+		}
+		return v
+	}
+	sawPosts, sawRekicks := false, false
+	for _, row := range faults.Rows {
+		if row[3] != "yes" {
+			t.Errorf("%s/%s: async digest mismatch against the synchronous tier", row[0], row[1])
+		}
+		if last := row[len(row)-1]; last != "0" {
+			t.Errorf("%s/%s: %s open batches at quiesce", row[0], row[1], last)
+		}
+		if num(row, 4) > 0 {
+			sawPosts = true
+		}
+		if row[0] == "drop" && num(row, 11) > 0 {
+			sawRekicks = true
+		}
+	}
+	if !sawPosts {
+		t.Error("no scenario posted to the fabric")
+	}
+	if !sawRekicks {
+		t.Error("drop schedule never drove the watchdog's rekick path")
+	}
+}

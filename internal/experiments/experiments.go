@@ -70,6 +70,7 @@ func Registry() map[string]Runner {
 		"extensions": Extensions,
 		"daemons":    Daemons,
 		"faults":     FaultSweep,
+		"async":      AsyncSweep,
 	}
 }
 

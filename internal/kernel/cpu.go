@@ -209,6 +209,9 @@ func (c *CPU) loop(p *sim.Proc) {
 			p.Delay(c.K.Dir.Write(c.ID, c.K.SMP.LazyLine(c.ID)))
 		}
 		c.switchMM(p, t.MM, true)
+		// Return-to-user fabric drain: pending async invalidations land
+		// before the task's first user access.
+		c.K.SMP.DrainFabric(p, c.ID)
 		if c.K.Cfg.PTI {
 			// Return-to-user after the switch: any deferred user-PCID
 			// flushes (e.g. from the generation catch-up) execute before
@@ -349,8 +352,11 @@ func (c *CPU) ServiceIRQs(p *sim.Proc) {
 			p.Delay(c.K.Cost.IRQEntryKernel)
 		}
 		c.K.Trace.Record(c.ID, trace.IRQEnter, "vector %#x from cpu%d (user=%v)", irq.Vector, irq.From, fromUser)
-		// Any kernel entry is a LATR sweep point.
+		// Any kernel entry is a LATR sweep point, and — under the async
+		// tier — a whole-batch fabric drain point: the ring is popped and
+		// applied before the vector dispatch below even looks at the CSQ.
 		c.DrainLazyWork(p)
+		c.K.SMP.DrainFabric(p, c.ID)
 		switch irq.Vector {
 		case apic.VectorCallFunction:
 			c.K.SMP.HandleIPI(p, c.ID)
@@ -361,6 +367,11 @@ func (c *CPU) ServiceIRQs(p *sim.Proc) {
 		}
 		p.Delay(c.K.Cost.IRQExit)
 		if fromUser {
+			// Return-to-user backstop drain: invalidations posted while
+			// this IRQ ran must land before the first user access (the
+			// PTI deferred-flush run below then covers any user-PCID
+			// work the drain itself deferred).
+			c.K.SMP.DrainFabric(p, c.ID)
 			if c.K.Cfg.PTI {
 				c.runDeferredUserFlushes(p)
 				p.Delay(c.K.Cost.PTITrampoline)

@@ -1,0 +1,52 @@
+package mm
+
+import "sort"
+
+// Coalesce merges adjacent and overlapping FlushRanges of equal stride
+// into the minimal sorted set of ranges covering the same pages. It is
+// the mmu_gather-style batching both flush paths share: the synchronous
+// writeback path uses it to issue one shootdown per merged run instead
+// of one per contiguous burst, and the asynchronous fabric uses the same
+// adjacency rule when coalescing in-ring invalidation entries.
+//
+// Ranges with different strides never merge (a 2M invalidation covers
+// different PTE granularity than a 4K one). FreedTables is sticky: a
+// merged range frees tables if any input did, so the early-ack
+// suppression the paper requires (§3.2) survives merging. Empty input
+// ranges are dropped. The input slice is not modified.
+func Coalesce(ranges []FlushRange) []FlushRange {
+	work := make([]FlushRange, 0, len(ranges))
+	for _, r := range ranges {
+		if !r.Empty() {
+			work = append(work, r)
+		}
+	}
+	if len(work) <= 1 {
+		return work
+	}
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].Start != work[j].Start {
+			return work[i].Start < work[j].Start
+		}
+		if work[i].End != work[j].End {
+			return work[i].End < work[j].End
+		}
+		return work[i].Stride < work[j].Stride
+	})
+	out := work[:1]
+	for _, r := range work[1:] {
+		cur := &out[len(out)-1]
+		if r.Stride == cur.Stride && r.Start <= cur.End {
+			if r.End > cur.End {
+				cur.End = r.End
+			}
+			// The merged group is contiguous (a gap would have refused the
+			// merge), so the span is the exact page count.
+			cur.Pages = int((cur.End - cur.Start) / cur.Stride.Bytes())
+			cur.FreedTables = cur.FreedTables || r.FreedTables
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package mm
+
+import (
+	"reflect"
+	"testing"
+
+	"shootdown/internal/pagetable"
+)
+
+func fr(start, end uint64, s pagetable.Size, freed bool) FlushRange {
+	return FlushRange{
+		Start: start, End: end, Stride: s,
+		Pages:       int((end - start) / s.Bytes()),
+		FreedTables: freed,
+	}
+}
+
+func TestCoalesceMergesAdjacentAndOverlapping(t *testing.T) {
+	// Unsorted input; adjacent and overlapping runs collapse.
+	in := []FlushRange{
+		fr(0x2000, 0x3000, pagetable.Size4K, false),
+		fr(0x0000, 0x1000, pagetable.Size4K, false),
+		fr(0x1000, 0x2000, pagetable.Size4K, false),
+		fr(0x8000, 0xb000, pagetable.Size4K, false),
+		fr(0x9000, 0xc000, pagetable.Size4K, false),
+	}
+	got := Coalesce(in)
+	want := []FlushRange{
+		fr(0x0000, 0x3000, pagetable.Size4K, false),
+		fr(0x8000, 0xc000, pagetable.Size4K, false),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Coalesce = %+v, want %+v", got, want)
+	}
+	// The overlap merged to the union's page count, not the inputs' sum.
+	if got[1].Pages != 4 {
+		t.Fatalf("overlap pages = %d, want 4 (exact span, not 3+3)", got[1].Pages)
+	}
+}
+
+func TestCoalesceKeepsGapsApart(t *testing.T) {
+	in := []FlushRange{
+		fr(0x0000, 0x1000, pagetable.Size4K, false),
+		fr(0x2000, 0x3000, pagetable.Size4K, false),
+	}
+	got := Coalesce(in)
+	if len(got) != 2 {
+		t.Fatalf("Coalesce merged across a gap: %+v", got)
+	}
+}
+
+func TestCoalesceKeepsStridesApart(t *testing.T) {
+	in := []FlushRange{
+		fr(0x0000, 0x1000, pagetable.Size4K, false),
+		fr(0x1000, 0x1000+pagetable.PageSize2M, pagetable.Size2M, false),
+	}
+	got := Coalesce(in)
+	if len(got) != 2 {
+		t.Fatalf("Coalesce merged across strides: %+v", got)
+	}
+}
+
+func TestCoalesceFreedTablesSticky(t *testing.T) {
+	in := []FlushRange{
+		fr(0x0000, 0x1000, pagetable.Size4K, false),
+		fr(0x1000, 0x2000, pagetable.Size4K, true),
+		fr(0x2000, 0x3000, pagetable.Size4K, false),
+	}
+	got := Coalesce(in)
+	if len(got) != 1 || !got[0].FreedTables {
+		t.Fatalf("Coalesce = %+v, want one range with FreedTables sticky", got)
+	}
+}
+
+func TestCoalesceDropsEmptyRanges(t *testing.T) {
+	in := []FlushRange{
+		{Start: 0x5000, End: 0x5000, Stride: pagetable.Size4K},
+		fr(0x0000, 0x1000, pagetable.Size4K, false),
+		{Start: 0x9000, End: 0x9000, Stride: pagetable.Size4K},
+	}
+	got := Coalesce(in)
+	want := []FlushRange{fr(0x0000, 0x1000, pagetable.Size4K, false)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Coalesce = %+v, want only the non-empty range", got)
+	}
+	if out := Coalesce(nil); len(out) != 0 {
+		t.Fatalf("Coalesce(nil) = %+v", out)
+	}
+}
+
+func TestCoalesceInputUnmodified(t *testing.T) {
+	in := []FlushRange{
+		fr(0x1000, 0x2000, pagetable.Size4K, false),
+		fr(0x0000, 0x1000, pagetable.Size4K, true),
+	}
+	snapshot := append([]FlushRange(nil), in...)
+	Coalesce(in)
+	if !reflect.DeepEqual(in, snapshot) {
+		t.Fatalf("Coalesce mutated its input: %+v, was %+v", in, snapshot)
+	}
+}

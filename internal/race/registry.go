@@ -116,6 +116,18 @@ func Registry() []Field {
 		{Key: "smp.csq", Var: "csq[%d]", Owner: "internal/smp", Struct: "perCPU",
 			GoField: "queue", NameFunc: "csqVar", Discipline: DiscAtomic,
 			Doc: "call-single queue, llist_add/llist_del_all RMW hand-off"},
+		{Key: "smp.faback", Var: "faback[%d]", Owner: "internal/smp", Struct: "fabricCPU",
+			GoField: "fabAckSeq", NameFunc: "fabAckVar", Discipline: DiscAtomic,
+			Doc: "async fabric acked sequence: responder stores after the batch drain, watchdog/completion load for the generation-gap check"},
+		{Key: "smp.fabfull", Var: "fabfull[%d]", Owner: "internal/smp", Struct: "fabricCPU",
+			GoField: "fabFlushAll", NameFunc: "fabFullVar", Discipline: DiscAtomic,
+			Doc: "async fabric flush_all collapse flag, RMW on overflow/degrade, cleared by the drain's ring pop"},
+		{Key: "smp.fabpost", Var: "fabpost[%d]", Owner: "internal/smp", Struct: "fabricCPU",
+			GoField: "fabPostSeq", NameFunc: "fabPostVar", Discipline: DiscAtomic,
+			Doc: "async fabric posted sequence, bumped by the initiator's post RMW, loaded by the drain's ack"},
+		{Key: "smp.fabring", Var: "fabring[%d]", Owner: "internal/smp", Struct: "fabricCPU",
+			GoField: "fabRing", NameFunc: "fabRingVar", Discipline: DiscAtomic,
+			Doc: "async fabric invalidation ring, llist-style post RMW / drain del_all hand-off"},
 	}
 }
 

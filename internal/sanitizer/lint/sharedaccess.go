@@ -38,6 +38,10 @@ var sharedFields = []sharedField{
 	{field: "lazyWork", owner: "internal/kernel/", allowed: []string{"QueueLazyWork", "PendingLazyWork", "DrainLazyWork"}},
 	{field: "batched", owner: "internal/kernel/", allowed: []string{"InBatchedSyscall", "EnterBatchedSection", "ExitBatchedSection"}},
 	{field: "pendingBatched", owner: "internal/kernel/", allowed: []string{"ExitBatchedSection", "QueueBatchedFlush"}},
+	{field: "fabRing", owner: "internal/smp/", allowed: []string{"PostAsync", "DrainFabric", "FabricPending"}},
+	{field: "fabPostSeq", owner: "internal/smp/", allowed: []string{"PostAsync", "DrainFabric", "FabricSeqs"}},
+	{field: "fabAckSeq", owner: "internal/smp/", allowed: []string{"DrainFabric", "FabricSeqs", "batchAcked", "rekickBatch"}},
+	{field: "fabFlushAll", owner: "internal/smp/", allowed: []string{"PostAsync", "DrainFabric", "FabricPending", "rekickBatch"}},
 }
 
 func sharedFieldByName(name string) *sharedField {

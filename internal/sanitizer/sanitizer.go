@@ -57,8 +57,8 @@ type Config struct {
 // Violation is one detected protocol violation.
 type Violation struct {
 	// Kind classifies the violation: "stale-translation", "unacked-ipi",
-	// "early-ack-freed-tables", "lock-order", "leftover-ipi" or
-	// "shadow-divergence".
+	// "early-ack-freed-tables", "lock-order", "leftover-ipi",
+	// "unfinished-shootdown" or "shadow-divergence".
 	Kind string
 	// CPU is the CPU the violation was observed on (-1 if machine-wide).
 	CPU int
@@ -386,12 +386,41 @@ func (c *Checker) onUserReturn(cpu *kernel.CPU) {
 		if ob.cpu != id {
 			continue
 		}
+		if c.coveredInFlight(key, ob) {
+			// A shootdown covering this window began and has not completed:
+			// the window stays open until its end event. Synchronous
+			// shootdowns begin and end inside the initiator's syscall, so
+			// this only fires for the async fabric's deferred discharge —
+			// the initiator legally resumes user work while the posted
+			// batch is still in flight, and only the batch completion
+			// (every target's generation ack) may close the window.
+			continue
+		}
 		ob.closedAt = now
 		ob.closedBy = fmt.Sprintf("return-to-user (cpu%d, no covering shootdown observed)", id)
 		c.closed[key] = ob
 		delete(c.open, key)
 		c.stats.ClosedByUserReturn++
 	}
+}
+
+// coveredInFlight reports whether an in-flight shootdown (begun, not yet
+// ended) covers the obligation: same address space, full or overlapping
+// range, begun no earlier than the change.
+func (c *Checker) coveredInFlight(key obKey, ob *obligation) bool {
+	for info, beginAt := range c.begins {
+		if info.AS.ID != key.mm || ob.at > beginAt {
+			continue
+		}
+		if !info.Full {
+			end := key.va + ob.size.Bytes()
+			if end <= info.Start || key.va >= info.End {
+				continue
+			}
+		}
+		return true
+	}
+	return false
 }
 
 func (c *Checker) onCall(from mach.CPU, req *smp.Request) {
@@ -527,6 +556,35 @@ func (c *Checker) Finish() *Summary {
 				c.addViolation("leftover-ipi", int(cpu.ID),
 					fmt.Sprintf("leftover-ipi: cpu%d ended the run with an undelivered shootdown IPI from cpu%d", cpu.ID, irq.From))
 			}
+		}
+	}
+	if c.F != nil && c.F.Cfg.AsyncShootdown && len(c.begins) > 0 {
+		// Async shootdowns detach begin from end: a batch whose targets
+		// never all acked leaves its begin record behind. A quiesced run
+		// must have drained and completed every posted batch (the rekick
+		// ladder guarantees it even under drop faults), so leftovers mean
+		// lost invalidations.
+		type unfinished struct {
+			info *core.FlushInfo
+			at   sim.Time
+		}
+		var left []unfinished
+		for info, at := range c.begins {
+			left = append(left, unfinished{info, at})
+		}
+		sort.Slice(left, func(i, j int) bool {
+			if left[i].at != left[j].at {
+				return left[i].at < left[j].at
+			}
+			if left[i].info.AS.ID != left[j].info.AS.ID {
+				return left[i].info.AS.ID < left[j].info.AS.ID
+			}
+			return left[i].info.Start < left[j].info.Start
+		})
+		for _, u := range left {
+			c.addViolation("unfinished-shootdown", -1,
+				fmt.Sprintf("unfinished-shootdown: async shootdown begun at t=%d (mm %d, gen %d, range [%#x,%#x), full=%v) never completed — some target never acked its fabric batch",
+					u.at, u.info.AS.ID, u.info.NewGen, u.info.Start, u.info.End, u.info.Full))
 		}
 	}
 	c.verifyShadows()

@@ -1,0 +1,492 @@
+package smp
+
+import (
+	"testing"
+
+	"shootdown/internal/fault"
+	"shootdown/internal/mach"
+	"shootdown/internal/race"
+	"shootdown/internal/sim"
+)
+
+// spawnFabricResponder runs a minimal async-tier IRQ loop on cpu: where
+// the kernel's IRQ entry sweeps the fabric ring alongside the CSQ, this
+// responder drains only the fabric. It exits after `quota` kicks.
+func (r *rig) spawnFabricResponder(cpu mach.CPU, quota int) {
+	ctrl := r.bus.Controller(cpu)
+	irqArrived := r.eng.NewCond()
+	ctrl.SetNotify(func() { irqArrived.Broadcast() })
+	r.eng.Go("fabric-responder", func(p *sim.Proc) {
+		for handled := 0; handled < quota; {
+			if !ctrl.Deliverable() {
+				irqArrived.Wait(p)
+				continue
+			}
+			if _, ok := ctrl.Take(); ok {
+				r.l.DrainFabric(p, cpu)
+				handled++
+			}
+		}
+	})
+}
+
+// recordApplier registers a drain applier that records every applied
+// batch, keyed by draining CPU.
+func (r *rig) recordApplier() *[][]Inval {
+	var applied [][]Inval
+	r.l.SetDrainApplier(func(p *sim.Proc, cpu mach.CPU, batch []Inval) {
+		applied = append(applied, batch)
+	})
+	return &applied
+}
+
+func TestCanCoalesceRules(t *testing.T) {
+	base := Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 1, GenHi: 1}
+	next := func(mut func(*Inval)) *Inval {
+		n := Inval{ASID: 1, Start: 0x2000, End: 0x3000, Stride: 4096, GenLo: 2, GenHi: 2}
+		if mut != nil {
+			mut(&n)
+		}
+		return &n
+	}
+	cases := []struct {
+		name string
+		prev Inval
+		next *Inval
+		want bool
+	}{
+		{"adjacent", base, next(nil), true},
+		{"other-space", base, next(func(n *Inval) { n.ASID = 2 }), false},
+		{"gen-gap", base, next(func(n *Inval) { n.GenLo, n.GenHi = 3, 3 }), false},
+		{"range-gap", base, next(func(n *Inval) { n.Start, n.End = 0x4000, 0x5000 }), false},
+		{"stride-mismatch", base, next(func(n *Inval) { n.Stride = 1 << 21 }), false},
+		{"full-next", base, next(func(n *Inval) { n.Full = true }), false},
+		{"full-prev-absorbs", Inval{ASID: 1, GenLo: 1, GenHi: 1, Full: true}, next(nil), true},
+	}
+	for _, c := range cases {
+		prev := c.prev
+		if got := canCoalesce(&prev, c.next); got != c.want {
+			t.Errorf("%s: canCoalesce = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMergeInval(t *testing.T) {
+	// A merge extends the span in both directions and the generation run.
+	prev := Inval{ASID: 1, Start: 0x2000, End: 0x3000, Stride: 4096, GenLo: 2, GenHi: 2}
+	mergeInval(&prev, &Inval{ASID: 1, Start: 0x1000, End: 0x4000, Stride: 4096, GenLo: 3, GenHi: 4})
+	if prev.Start != 0x1000 || prev.End != 0x4000 || prev.GenLo != 2 || prev.GenHi != 4 {
+		t.Fatalf("merged = %+v", prev)
+	}
+	// A full prev only advances its generation run.
+	full := Inval{ASID: 1, GenLo: 1, GenHi: 1, Full: true}
+	mergeInval(&full, &Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 2, GenHi: 2})
+	if !full.Full || full.GenHi != 2 || full.Start != 0 || full.End != 0 {
+		t.Fatalf("full merge = %+v", full)
+	}
+	// A full next widens the merged entry.
+	prev = Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 1, GenHi: 1}
+	mergeInval(&prev, &Inval{ASID: 1, GenLo: 2, GenHi: 2, Full: true})
+	if !prev.Full || prev.GenHi != 2 {
+		t.Fatalf("widening merge = %+v", prev)
+	}
+}
+
+func TestPostAsyncRoundTrip(t *testing.T) {
+	r := newRig(false)
+	if r.l.AsyncEnabled() {
+		t.Fatal("fabric enabled before an applier was registered")
+	}
+	applied := r.recordApplier()
+	if !r.l.AsyncEnabled() {
+		t.Fatal("fabric not enabled by SetDrainApplier")
+	}
+	r.spawnFabricResponder(2, 1)
+	inv := Inval{AS: "mm", ASID: 7, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 1, GenHi: 1}
+	completed := false
+	var b *AsyncBatch
+	var postedAt, completedAt sim.Time
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		b = r.l.PostAsync(p, 0, mach.MaskOf(2), inv, func(*sim.Proc) { completed = true; completedAt = r.eng.Now() })
+		postedAt = p.Now()
+		if b.Done() {
+			t.Error("batch done at post time: initiator must not wait")
+		}
+	})
+	r.eng.Run()
+	if !completed || !b.Done() {
+		t.Fatal("batch never completed")
+	}
+	if completedAt <= postedAt {
+		t.Fatalf("completion at %d not after the post returned at %d", completedAt, postedAt)
+	}
+	if len(*applied) != 1 || len((*applied)[0]) != 1 || (*applied)[0][0] != inv {
+		t.Fatalf("applied = %+v, want the posted inval once", *applied)
+	}
+	if posted, acked := r.l.FabricSeqs(2); posted != 1 || acked != 1 {
+		t.Fatalf("seqs = (%d, %d), want (1, 1)", posted, acked)
+	}
+	if n := r.l.OutstandingBatches(); n != 0 {
+		t.Fatalf("OutstandingBatches = %d", n)
+	}
+	s := r.l.Stats()
+	if s.AsyncPosts != 1 || s.AsyncKicks != 1 || s.AsyncBatches != 1 ||
+		s.AsyncDrains != 1 || s.AsyncApplied != 1 || s.AsyncFullDrains != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPostAsyncCoalescesAndElidesKick(t *testing.T) {
+	r := newRig(false)
+	applied := r.recordApplier()
+	// No responder: the ring stays populated until the deferred drain
+	// (modeling the kernel's return-to-user sweep, which needs no IPI).
+	r.bus.Controller(2).SetMasked(true)
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{AS: "mm", ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 1, GenHi: 1}, nil)
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{AS: "mm", ASID: 1, Start: 0x2000, End: 0x3000, Stride: 4096, GenLo: 2, GenHi: 2}, nil)
+	})
+	r.eng.Run()
+	if entries, full := r.l.FabricPending(2); entries != 1 || full {
+		t.Fatalf("pending = (%d, %v), want one merged entry", entries, full)
+	}
+	s := r.l.Stats()
+	if s.AsyncPosts != 2 || s.AsyncCoalesced != 1 || s.AsyncKicks != 1 || s.AsyncKicksElided != 1 {
+		t.Fatalf("stats = %+v, want 2 posts, 1 coalesced, 1 kick + 1 elided", s)
+	}
+	r.eng.Go("drainer", func(p *sim.Proc) { r.l.DrainFabric(p, 2) })
+	r.eng.Run()
+	if len(*applied) != 1 || len((*applied)[0]) != 1 {
+		t.Fatalf("applied = %+v, want one batch of one merged entry", *applied)
+	}
+	got := (*applied)[0][0]
+	want := Inval{AS: "mm", ASID: 1, Start: 0x1000, End: 0x3000, Stride: 4096, GenLo: 1, GenHi: 2}
+	if got != want {
+		t.Fatalf("merged entry = %+v, want %+v", got, want)
+	}
+	if posted, acked := r.l.FabricSeqs(2); posted != 2 || acked != 2 {
+		t.Fatalf("seqs = (%d, %d): the merged drain must ack both posts", posted, acked)
+	}
+	if n := r.l.OutstandingBatches(); n != 0 {
+		t.Fatalf("OutstandingBatches = %d after drain", n)
+	}
+}
+
+func TestPostAsyncNoCoalesceAcrossSpacesOrGenGaps(t *testing.T) {
+	r := newRig(false)
+	r.recordApplier()
+	r.bus.Controller(2).SetMasked(true)
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		// Different address space: no merge.
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 1, GenHi: 1}, nil)
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 2, Start: 0x2000, End: 0x3000, Stride: 4096, GenLo: 1, GenHi: 1}, nil)
+		// Same space, adjacent range, but a generation gap: no merge
+		// (the merged entry could no longer advance the local gen exactly).
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 2, Start: 0x3000, End: 0x4000, Stride: 4096, GenLo: 3, GenHi: 3}, nil)
+	})
+	r.eng.Run()
+	if entries, _ := r.l.FabricPending(2); entries != 3 {
+		t.Fatalf("pending = %d entries, want 3 unmerged", entries)
+	}
+	if got := r.l.Stats().AsyncCoalesced; got != 0 {
+		t.Fatalf("AsyncCoalesced = %d, want 0", got)
+	}
+}
+
+func TestPostAsyncOverflowCollapsesToFlushAll(t *testing.T) {
+	r := newRig(false)
+	applied := r.recordApplier()
+	r.bus.Controller(2).SetMasked(true)
+	n := RingSize + 1
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			// Distinct address spaces so nothing coalesces.
+			r.l.PostAsync(p, 0, mach.MaskOf(2), Inval{
+				ASID: uint32(i), Start: 0x1000, End: 0x2000, Stride: 4096,
+				GenLo: uint64(i + 1), GenHi: uint64(i + 1),
+			}, nil)
+		}
+	})
+	r.eng.Run()
+	entries, full := r.l.FabricPending(2)
+	if entries != RingSize || !full {
+		t.Fatalf("pending = (%d, %v), want a full ring with flush_all set", entries, full)
+	}
+	if got := r.l.Stats().AsyncOverflows; got != 1 {
+		t.Fatalf("AsyncOverflows = %d, want 1", got)
+	}
+	r.eng.Go("drainer", func(p *sim.Proc) { r.l.DrainFabric(p, 2) })
+	r.eng.Run()
+	if len(*applied) != 1 || len((*applied)[0]) != 1 {
+		t.Fatalf("applied = %+v, want one widened batch", *applied)
+	}
+	got := (*applied)[0][0]
+	// The overflowing post itself never entered the ring, so the widened
+	// entry carries the highest in-ring generation; the full flush
+	// subsumes the dropped range and the ack is by sequence, not gen.
+	if !got.Full || got.AS != nil || got.GenHi != uint64(RingSize) {
+		t.Fatalf("widened entry = %+v, want Full through gen %d", got, RingSize)
+	}
+	if posted, acked := r.l.FabricSeqs(2); posted != uint64(n) || acked != uint64(n) {
+		t.Fatalf("seqs = (%d, %d): the full drain must ack every post", posted, acked)
+	}
+	s := r.l.Stats()
+	if s.AsyncFullDrains != 1 || s.AsyncApplied != 1 {
+		t.Fatalf("stats = %+v, want 1 full drain applying 1 widened entry", s)
+	}
+	if n := r.l.OutstandingBatches(); n != 0 {
+		t.Fatalf("OutstandingBatches = %d: the collapse must still complete all batches", n)
+	}
+}
+
+func TestDrainFabricEmptyIsFree(t *testing.T) {
+	r := newRig(false)
+	// Without an applier the drain is a no-op even on kernels that sweep
+	// unconditionally (the sync tier's IRQ path).
+	r.eng.Go("disabled", func(p *sim.Proc) { r.l.DrainFabric(p, 2) })
+	r.eng.Run()
+	r.recordApplier()
+	r.eng.Go("drainer", func(p *sim.Proc) {
+		before := p.Now()
+		r.l.DrainFabric(p, 2)
+		if p.Now() != before {
+			t.Error("empty drain charged time")
+		}
+	})
+	r.eng.Run()
+	if got := r.l.Stats().AsyncDrains; got != 0 {
+		t.Fatalf("AsyncDrains = %d on an empty ring", got)
+	}
+}
+
+func TestMultiTargetBatchCompletesOnLastAck(t *testing.T) {
+	r := newRig(false)
+	r.recordApplier()
+	r.spawnFabricResponder(2, 1)  // same socket: drains first
+	r.spawnFabricResponder(30, 1) // cross socket: drains later
+	completions := 0
+	var b *AsyncBatch
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		b = r.l.PostAsync(p, 0, mach.MaskOf(2, 30),
+			Inval{ASID: 1, Start: 0, End: 0x1000, Stride: 4096, GenLo: 1, GenHi: 1},
+			func(*sim.Proc) { completions++ })
+	})
+	r.eng.Run()
+	if completions != 1 || !b.Done() {
+		t.Fatalf("completions = %d, done = %v; want exactly one completion", completions, b.Done())
+	}
+	for _, cpu := range []mach.CPU{2, 30} {
+		if posted, acked := r.l.FabricSeqs(cpu); acked != posted {
+			t.Fatalf("cpu %d: acked %d of %d", cpu, acked, posted)
+		}
+	}
+	if s := r.l.Stats(); s.AsyncDrains != 2 || s.AsyncKicks != 2 {
+		t.Fatalf("stats = %+v, want both targets kicked and drained", s)
+	}
+}
+
+func TestWatchdogRekicksOnDroppedKick(t *testing.T) {
+	r := newRig(false)
+	r.recordApplier()
+	// Every kick is dropped; the burst bound forces the third send
+	// through. The watchdog must detect the posted-vs-acked gap and
+	// re-ring the doorbell until the drain lands.
+	pl := fault.New(7, fault.Spec{DropP: 1, DropBurstMax: 2})
+	r.bus.SetFaultPlane(pl)
+	r.l.SetFaultPlane(pl)
+	r.spawnFabricResponder(2, 1)
+	var b *AsyncBatch
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		b = r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 1, Start: 0, End: 0x1000, Stride: 4096, GenLo: 1, GenHi: 1}, nil)
+	})
+	r.eng.Run()
+	if !b.Done() {
+		t.Fatal("batch never completed despite rekicks")
+	}
+	s := r.l.Stats()
+	if s.AsyncRekicks != 2 || b.Retries() != 2 {
+		t.Fatalf("rekicks = %d, retries = %d; want 2 (post and first rekick dropped)", s.AsyncRekicks, b.Retries())
+	}
+	if s.AckTimeouts != 2 {
+		t.Fatalf("AckTimeouts = %d, want 2", s.AckTimeouts)
+	}
+	if s.AsyncDegrades != 0 || s.AsyncFullDrains != 0 {
+		t.Fatalf("stats = %+v: recovery before MaxKickRetries must keep precision", s)
+	}
+}
+
+func TestWatchdogRekicksOnlyLaggingTargets(t *testing.T) {
+	r := newRig(false)
+	r.recordApplier()
+	// CPU 2's controller is masked (its kick and rekicks vanish); CPU 4
+	// drains immediately. The watchdog must re-ring only the lagging
+	// doorbell — the acked target's sequence check skips it.
+	r.l.SetFaultPlane(fault.New(7, fault.Spec{})) // armed, injects nothing
+	r.bus.Controller(2).SetMasked(true)
+	r.spawnFabricResponder(4, 2)
+	var b *AsyncBatch
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		b = r.l.PostAsync(p, 0, mach.MaskOf(2, 4),
+			Inval{ASID: 1, Start: 0, End: 0x1000, Stride: 4096, GenLo: 1, GenHi: 1}, nil)
+		// The second batch exercises the already-started watchdog.
+		r.l.PostAsync(p, 0, mach.MaskOf(4),
+			Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 2, GenHi: 2}, nil)
+		// Unmask once the first rekick is due, so recovery can land.
+		p.Delay(uint64(2 * r.cost.IPIAckTimeout))
+		r.bus.Controller(2).SetMasked(false)
+		r.spawnFabricResponder(2, 1)
+	})
+	r.eng.Run()
+	if !b.Done() {
+		t.Fatal("batch never completed after unmasking")
+	}
+	s := r.l.Stats()
+	if s.AsyncRekicks == 0 {
+		t.Fatal("watchdog never rekicked the lagging target")
+	}
+	if _, acked := r.l.FabricSeqs(4); acked != 2 {
+		t.Fatalf("cpu 4 acked %d, want 2 (both posts, one drain each)", acked)
+	}
+}
+
+func TestWatchdogDegradesToFullAfterMaxRetries(t *testing.T) {
+	r := newRig(false)
+	applied := r.recordApplier()
+	// Six consecutive drops: the post and five rekicks are lost, so the
+	// ladder runs past MaxKickRetries and must widen the stranded ring
+	// to flush_all before the seventh (forced) delivery drains it.
+	pl := fault.New(7, fault.Spec{DropP: 1, DropBurstMax: 6})
+	r.bus.SetFaultPlane(pl)
+	r.l.SetFaultPlane(pl)
+	r.spawnFabricResponder(2, 1)
+	var b *AsyncBatch
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		b = r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 1, Start: 0, End: 0x1000, Stride: 4096, GenLo: 1, GenHi: 1}, nil)
+	})
+	r.eng.Run()
+	if !b.Done() {
+		t.Fatal("batch never completed despite the degrade ladder")
+	}
+	s := r.l.Stats()
+	if s.AsyncDegrades != 1 {
+		t.Fatalf("AsyncDegrades = %d, want exactly 1 (the flag is sticky)", s.AsyncDegrades)
+	}
+	if s.AsyncFullDrains != 1 {
+		t.Fatalf("AsyncFullDrains = %d: the degraded drain must be a full flush", s.AsyncFullDrains)
+	}
+	if b.Retries() != MaxKickRetries {
+		t.Fatalf("retries = %d, want capped at %d", b.Retries(), MaxKickRetries)
+	}
+	if len(*applied) != 1 || len((*applied)[0]) != 1 || !(*applied)[0][0].Full {
+		t.Fatalf("applied = %+v, want one widened full entry", *applied)
+	}
+}
+
+func TestWatchdogNotArmedWithoutFaultPlane(t *testing.T) {
+	r := newRig(false)
+	r.recordApplier()
+	r.spawnFabricResponder(2, 1)
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 1, Start: 0, End: 0x1000, Stride: 4096, GenLo: 1, GenHi: 1}, nil)
+	})
+	r.eng.Run()
+	if r.l.wdCond != nil {
+		t.Fatal("watchdog started on a fault-free run")
+	}
+	// NoRetry is the deliberately broken recovery variant: the plane is
+	// attached but must not arm the watchdog either.
+	pl := fault.New(7, fault.Spec{DropP: 1, NoRetry: true})
+	r.l.SetFaultPlane(pl)
+	r.eng.Go("initiator2", func(p *sim.Proc) {
+		r.bus.Controller(4).SetMasked(true)
+		r.l.PostAsync(p, 0, mach.MaskOf(4),
+			Inval{ASID: 1, Start: 0, End: 0x1000, Stride: 4096, GenLo: 2, GenHi: 2}, nil)
+	})
+	r.eng.Run()
+	if r.l.wdCond != nil {
+		t.Fatal("watchdog armed under noretry (the broken variant must strand the batch)")
+	}
+	if r.l.OutstandingBatches() != 1 {
+		t.Fatalf("OutstandingBatches = %d, want the stranded batch left open", r.l.OutstandingBatches())
+	}
+}
+
+func TestPostAsyncSelfTargetPanics(t *testing.T) {
+	r := newRig(false)
+	r.recordApplier()
+	r.eng.Go("init", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("self-target post did not panic")
+			}
+		}()
+		r.l.PostAsync(p, 0, mach.MaskOf(0), Inval{}, nil)
+	})
+	r.eng.Run()
+}
+
+func TestPostAsyncWithoutApplierPanics(t *testing.T) {
+	r := newRig(false)
+	r.eng.Go("init", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("post without a drain applier did not panic")
+			}
+		}()
+		r.l.PostAsync(p, 0, mach.MaskOf(2), Inval{}, nil)
+	})
+	r.eng.Run()
+}
+
+func TestPostAsyncEmptyTargetsCompletesInline(t *testing.T) {
+	r := newRig(false)
+	r.recordApplier()
+	completed := false
+	r.eng.Go("init", func(p *sim.Proc) {
+		b := r.l.PostAsync(p, 0, mach.CPUMask{}, Inval{}, func(*sim.Proc) { completed = true })
+		if !b.Done() || !completed {
+			t.Error("empty-target batch must complete inline")
+		}
+	})
+	r.eng.Run()
+	if got := r.l.Stats().AsyncBatches; got != 0 {
+		t.Fatalf("AsyncBatches = %d: an empty post is not a batch", got)
+	}
+}
+
+func TestFabricRaceModelClean(t *testing.T) {
+	// With the happens-before checker attached, the full
+	// post→kick→drain→ack→completion exchange (including a coalesced
+	// second post) must model clean sync edges.
+	r := newRig(false)
+	d := race.New(r.eng)
+	r.l.SetRaceDetector(d)
+	r.recordApplier()
+	r.spawnFabricResponder(2, 1)
+	done := false
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 1, GenHi: 1},
+			func(*sim.Proc) { done = true })
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 1, Start: 0x2000, End: 0x3000, Stride: 4096, GenLo: 2, GenHi: 2}, nil)
+		// The instrumented peeks are acquire-side loads, not races.
+		r.l.FabricPending(2)
+		r.l.FabricSeqs(2)
+	})
+	r.eng.Run()
+	if !done {
+		t.Fatal("batch never completed")
+	}
+	if sum := d.Finish(); !sum.OK() {
+		t.Fatalf("race model flagged the fabric protocol: %+v", sum.Races)
+	}
+}

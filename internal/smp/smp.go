@@ -116,6 +116,21 @@ type Stats struct {
 	// MaxAckStall is the longest cycles any initiator spent waiting for
 	// acknowledgements on the recovery path.
 	MaxAckStall uint64
+
+	// AsyncPosts counts ring entries posted by async initiators;
+	// AsyncCoalesced of those merged into the previous in-ring entry,
+	// and AsyncOverflows collapsed a full ring to flush_all instead.
+	AsyncPosts, AsyncCoalesced, AsyncOverflows uint64
+	// AsyncKicks / AsyncKicksElided split posts by whether the target's
+	// ring was idle (doorbell needed) or already pending.
+	AsyncKicks, AsyncKicksElided uint64
+	// AsyncBatches counts posted initiator batches; AsyncDrains counts
+	// responder drains that found work, AsyncApplied the entries they
+	// applied, and AsyncFullDrains the drains widened by flush_all.
+	AsyncBatches, AsyncDrains, AsyncApplied, AsyncFullDrains uint64
+	// AsyncRekicks / AsyncDegrades count the watchdog's generation-gap
+	// recovery actions (the rekick/degrade ladder for batched acks).
+	AsyncRekicks, AsyncDegrades uint64
 }
 
 // Layer is the machine-wide SMP function-call subsystem.
@@ -136,6 +151,16 @@ type Layer struct {
 	// lazily (Linux: per-CPU cfd_data with a per-target csd each).
 	cfd   [][]*cache.Line
 	stats Stats
+
+	// fabric is the per-CPU asynchronous invalidation ring state (see
+	// fabric.go); drainApply is the kernel-registered batch applier that
+	// enables the tier, batches the outstanding posted batches, and
+	// wdCond parks the generation-gap watchdog proc (started lazily,
+	// only under an armed fault plane).
+	fabric     []*fabricCPU
+	drainApply func(p *sim.Proc, cpu mach.CPU, batch []Inval)
+	batches    []*AsyncBatch
+	wdCond     *sim.Cond
 
 	// rt, when non-nil, receives happens-before events for every modeled
 	// synchronization edge in this layer (see internal/race).
@@ -164,6 +189,10 @@ func New(eng *sim.Engine, topo mach.Topology, cost *mach.CostModel, dir *cache.D
 		consolidated: consolidated, hwMessage: hwMessage,
 		percpu: make([]*perCPU, n),
 		cfd:    make([][]*cache.Line, n),
+		fabric: make([]*fabricCPU, n),
+	}
+	for i := range l.fabric {
+		l.fabric[i] = &fabricCPU{}
 	}
 	for i := 0; i < n; i++ {
 		pc := &perCPU{}

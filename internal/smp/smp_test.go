@@ -224,6 +224,43 @@ func TestSelfTargetPanics(t *testing.T) {
 	r.eng.Run()
 }
 
+func TestHWMessageIPIRoundTrip(t *testing.T) {
+	// The §6 hardware model: the IPI carries fn+payload, so queueing and
+	// reading cost no shared cacheline traffic and every target is kicked.
+	eng := sim.NewEngine(1)
+	topo := mach.DefaultTopology()
+	cost := mach.DefaultCosts()
+	dir := cache.New(topo, cost)
+	bus := apic.NewBus(eng, topo, cost)
+	r := &rig{eng, topo, cost, dir, bus, New(eng, topo, cost, dir, bus, false, true)}
+	r.spawnResponder(2, 1)
+	r.spawnResponder(4, 1)
+	ran := map[mach.CPU]bool{}
+	r.eng.Go("init", func(p *sim.Proc) {
+		reqs := r.l.CallMany(p, 0, mach.MaskOf(2, 4), func(_ *sim.Proc, cpu mach.CPU, _ any) {
+			ran[cpu] = true
+		}, nil, false, nil)
+		r.l.WaitAll(p, 0, reqs)
+	})
+	r.eng.Run()
+	if len(ran) != 2 {
+		t.Fatalf("handled on %d CPUs, want 2: %v", len(ran), ran)
+	}
+	if s := r.l.Stats(); s.Kicks != 2 || s.KicksElided != 0 {
+		t.Fatalf("stats = %+v: hwMessage kicks every target", s)
+	}
+}
+
+func TestAnyAllDone(t *testing.T) {
+	pending, acked := &Request{}, &Request{acked: true}
+	if AnyDone([]*Request{pending}) || !AnyDone([]*Request{pending, acked}) {
+		t.Fatal("AnyDone wrong")
+	}
+	if AllDone([]*Request{pending, acked}) || !AllDone([]*Request{acked}) {
+		t.Fatal("AllDone wrong")
+	}
+}
+
 func TestMultiTargetAllHandled(t *testing.T) {
 	r := newRig(false)
 	targets := mach.MaskOf(2, 4, 6, 30, 32)

@@ -143,35 +143,25 @@ func writeback(ctx *kernel.Ctx, file *mm.File, startIdx, endIdx uint64) error {
 	ctx.CPU.KernelRun(ctx.P, uint64(len(idxs))*ctx.K.Cost.CopyPage4K)
 
 	for _, mapper := range file.Mappers() {
-		// Write-protect the dirty PTEs, then flush per contiguous run of
-		// cleaned pages, as the kernel's clean/record writeback path does
-		// with its mmu_gather: random scattered pages produce many small
-		// selective shootdowns, while a sequential burst merges into one.
-		var runs []mm.FlushRange
-		var cur mm.FlushRange
-		flushCur := func() {
-			if cur.Pages > 0 {
-				runs = append(runs, cur)
-				cur = mm.FlushRange{}
-			}
-		}
+		// Write-protect the dirty PTEs, then coalesce the cleaned pages
+		// into merged runs, as the kernel's clean/record writeback path
+		// does with its mmu_gather: random scattered pages produce many
+		// small selective shootdowns, while adjacent pages — sequential
+		// or not — merge into one.
+		var pages []mm.FlushRange
 		for _, idx := range idxs {
 			for _, va := range mapper.FilePageVAs(file, idx) {
 				if !mapper.WriteProtectPage(va) {
 					continue
 				}
 				ctx.P.Delay(ctx.K.Cost.PTEUpdate)
-				if cur.Pages > 0 && va == cur.End {
-					cur.End += pagetable.PageSize4K
-					cur.Pages++
-					continue
-				}
-				flushCur()
-				cur = mm.FlushRange{Start: va, End: va + pagetable.PageSize4K, Stride: pagetable.Size4K, Pages: 1}
+				pages = append(pages, mm.FlushRange{
+					Start: va, End: va + pagetable.PageSize4K,
+					Stride: pagetable.Size4K, Pages: 1,
+				})
 			}
 		}
-		flushCur()
-		for _, fr := range runs {
+		for _, fr := range mm.Coalesce(pages) {
 			ctx.K.Flusher().FlushAfter(ctx, mapper, fr)
 		}
 	}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+
+	"shootdown/internal/core"
+	"shootdown/internal/kernel"
+	"shootdown/internal/mm"
+	"shootdown/internal/sanitizer"
+	"shootdown/internal/syscalls"
+)
+
+// asyncAll is the all-optimizations tier with shootdown dispatch routed
+// through the per-CPU invalidation rings.
+func asyncAll() core.Config {
+	cfg := core.All()
+	cfg.AsyncShootdown = true
+	return cfg
+}
+
+// runAsyncStaleTouch drives the fabric's ack-after-apply invariant: a
+// responder on CPU 1 caches a translation and sits in user mode while
+// the initiator on CPU 0 madvises the page away (an async post), then
+// touches the page again after the batch has completed. On the real
+// tier the IRQ-entry drain flushed the entry before the responder
+// returned to user, so the second touch refaults cleanly; the broken
+// variant acks before the flush lands and the touch goes through the
+// stale entry outside any open window.
+func runAsyncStaleTouch(w *World) {
+	as := w.K.NewAddressSpace()
+	var va uint64
+	responder := &kernel.Task{Name: "responder", MM: as, Fn: func(ctx *kernel.Ctx) {
+		ctx.UserRun(50_000)
+		if err := ctx.Touch(va, mm.AccessRead); err != nil {
+			panic(err)
+		}
+		ctx.UserRun(2_000_000)
+		if err := ctx.Touch(va, mm.AccessRead); err != nil {
+			panic(err)
+		}
+	}}
+	w.K.CPU(1).Spawn(responder)
+	initiator := &kernel.Task{Name: "initiator", MM: as, Fn: func(ctx *kernel.Ctx) {
+		v, err := syscalls.MMap(ctx, pg, mm.ProtRead|mm.ProtWrite, mm.Anon, nil, 0)
+		if err != nil {
+			panic(err)
+		}
+		va = v.Start
+		if err := ctx.Touch(va, mm.AccessWrite); err != nil {
+			panic(err)
+		}
+		ctx.UserRun(200_000)
+		if err := syscalls.MadviseDontneed(ctx, va, pg); err != nil {
+			panic(err)
+		}
+	}}
+	w.K.CPU(0).Spawn(initiator)
+	w.Eng.Run()
+}
+
+// TestBrokenAckBeforeDrainCaughtExactlyOnce plants the deliberately
+// broken fabric variant — the responder acks its batch before the
+// deferred flush lands — and demands the shadow-TLB oracle convict it
+// as exactly one stale-translation: the responder's post-completion
+// touch through the unflushed entry.
+func TestBrokenAckBeforeDrainCaughtExactlyOnce(t *testing.T) {
+	cfg := asyncAll()
+	cfg.BrokenAckBeforeDrain = true
+	w := NewWorld(Safe, cfg, 7)
+	defer w.Close()
+	chk := sanitizer.Attach(w.K, w.F, sanitizer.Config{AllowLazyWindow: w.F.Cfg.LazyRemote})
+	runAsyncStaleTouch(w)
+	if got := w.F.Stats().AsyncShootdowns; got == 0 {
+		t.Fatal("no async shootdown posted: the scenario missed the fabric path")
+	}
+	sum := chk.Finish()
+	if len(sum.Violations) != 1 {
+		t.Fatalf("violations = %d, want exactly 1:\n%s", len(sum.Violations), sum.Report())
+	}
+	if sum.Violations[0].Kind != "stale-translation" {
+		t.Fatalf("violation kind = %q, want stale-translation:\n%s", sum.Violations[0].Kind, sum.Report())
+	}
+}
+
+// TestAsyncTierStaleTouchClean is the positive companion: the same
+// program on the real fabric must drain at IRQ entry before acking, so
+// the oracle sees a fully coherent protocol.
+func TestAsyncTierStaleTouchClean(t *testing.T) {
+	w := NewWorld(Safe, asyncAll(), 7)
+	defer w.Close()
+	chk := sanitizer.Attach(w.K, w.F, sanitizer.Config{AllowLazyWindow: w.F.Cfg.LazyRemote})
+	runAsyncStaleTouch(w)
+	st := w.K.SMP.Stats()
+	if st.AsyncPosts == 0 || st.AsyncDrains == 0 {
+		t.Fatalf("fabric not exercised: %+v", st)
+	}
+	if n := w.K.SMP.OutstandingBatches(); n != 0 {
+		t.Fatalf("OutstandingBatches = %d at quiesce", n)
+	}
+	if sum := chk.Finish(); !sum.OK() {
+		t.Fatalf("real async tier convicted:\n%s", sum.Report())
+	}
+}
+
+// TestAsyncTierPreservesState pins the fabric's semantic neutrality as
+// a unit test (the experiments sweep checks it too, under faults):
+// every scenario's canonical final state under the async tier must be
+// byte-identical to the synchronous all-optimizations tier.
+func TestAsyncTierPreservesState(t *testing.T) {
+	for _, s := range Scenarios() {
+		run := func(cfg core.Config) string {
+			w := NewWorld(Safe, cfg, 11)
+			defer w.Close()
+			return StateDigest(s.Run(w))
+		}
+		syncD, asyncD := run(core.All()), run(asyncAll())
+		if syncD != asyncD {
+			t.Errorf("%s: async digest %s != sync %s", s.Name, asyncD, syncD)
+		}
+	}
+}

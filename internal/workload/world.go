@@ -77,6 +77,39 @@ func SetFaultSpec(spec fault.Spec) (restore func()) {
 	return func() { worldFaults = prev }
 }
 
+// worldTLBMode overrides the shootdown dispatch tier of every world booted
+// through NewWorld/NewFaultWorld: "" leaves configs as built, "sync"
+// clears the async fabric knobs, "async" sets AsyncShootdown — except on
+// configs carrying SerializedIPIs or LazyRemote, which model competing
+// dispatch disciplines and keep their own tier. The -tlbmode flag of
+// tlbsim, tlbcheck and tlbfuzz lands here.
+//
+// Writes go through SetTLBMode's save/restore discipline, proven
+// whole-program by the ssa tier's parallelsafe analyzer.
+var worldTLBMode string
+
+// SetTLBMode installs the package-wide dispatch-tier override ("", "sync"
+// or "async") and returns a restore function reinstating the previous one.
+func SetTLBMode(mode string) (restore func()) {
+	prev := worldTLBMode
+	worldTLBMode = mode
+	return func() { worldTLBMode = prev }
+}
+
+// applyTLBMode rewrites cfg per the package-wide override.
+func applyTLBMode(cfg core.Config) core.Config {
+	switch worldTLBMode {
+	case "sync":
+		cfg.AsyncShootdown = false
+		cfg.BrokenAckBeforeDrain = false
+	case "async":
+		if !cfg.SerializedIPIs && !cfg.LazyRemote {
+			cfg.AsyncShootdown = true
+		}
+	}
+	return cfg
+}
+
 // Close shuts the world's engine down, unwinding every parked process
 // (idle CPU loops, the flusher) so their goroutines exit. Call it after
 // the last read of simulation state; the world is unusable afterwards.
@@ -93,6 +126,7 @@ func NewWorld(mode Mode, cfg core.Config, seed uint64) *World {
 // concurrently). The plane is keyed by the same seed as the engine:
 // (seed, spec) fully determines the machine's behaviour.
 func NewFaultWorld(mode Mode, cfg core.Config, seed uint64, spec fault.Spec) *World {
+	cfg = applyTLBMode(cfg)
 	eng := sim.NewEngine(seed)
 	kcfg := kernel.DefaultConfig()
 	kcfg.PTI = bool(mode)

@@ -3,9 +3,11 @@
 #
 # Runs every experiment of the quick suite twice — at -parallel 1 (the
 # sequential harness) and at -parallel <all cores> — and records the
-# wall-clock of each, plus the sim package's event-loop microbenchmarks
-# (ns/event and allocs/event). Emits BENCH_parallel.json in the repo
-# root; CI uploads it as an artifact.
+# wall-clock of each, plus sync-vs-async dispatch-tier cells (the same
+# experiments re-run under -tlbmode sync and -tlbmode async) and the
+# sim package's event-loop microbenchmarks (ns/event and allocs/event).
+# Emits BENCH_parallel.json in the repo root; CI uploads it as an
+# artifact.
 #
 # The outputs of the two runs are byte-compared along the way: a speedup
 # that changes results would be a bug, not a feature.
@@ -32,15 +34,18 @@ now_ns() { date +%s%N; }
 names=$("$TLBSIM" -list | sed -n 's/^  //p')
 
 exp_json=""
-for name in $names; do
-    echo "==> $name" >&2
+# bench_one <row-name> <tlbsim args...>: time the run at -parallel 1
+# and -parallel $WORKERS, byte-compare the outputs, append a JSON row.
+bench_one() {
+    rowname=$1; shift
+    echo "==> $rowname" >&2
     t0=$(now_ns)
-    "$TLBSIM" -exp "$name" -quick -parallel 1 >"$SERIAL_OUT" 2>/dev/null
+    "$TLBSIM" "$@" -quick -parallel 1 >"$SERIAL_OUT" 2>/dev/null
     t1=$(now_ns)
-    "$TLBSIM" -exp "$name" -quick -parallel "$WORKERS" >"$PARALLEL_OUT" 2>/dev/null
+    "$TLBSIM" "$@" -quick -parallel "$WORKERS" >"$PARALLEL_OUT" 2>/dev/null
     t2=$(now_ns)
     if ! cmp -s "$SERIAL_OUT" "$PARALLEL_OUT"; then
-        echo "bench.sh: $name output differs between -parallel 1 and -parallel $WORKERS" >&2
+        echo "bench.sh: $rowname output differs between -parallel 1 and -parallel $WORKERS" >&2
         exit 1
     fi
     serial_ns=$((t1 - t0))
@@ -51,8 +56,21 @@ for name in $names; do
         printf "%.3f", (p > 0) ? s / p : 0
     }')
     row=$(printf '{"name":"%s","serial_ns":%d,"parallel_ns":%d,"speedup":%s}' \
-        "$name" "$serial_ns" "$parallel_ns" "$speedup")
+        "$rowname" "$serial_ns" "$parallel_ns" "$speedup")
     exp_json="$exp_json$row,"
+}
+
+for name in $names; do
+    bench_one "$name" -exp "$name"
+done
+
+# Sync-vs-async dispatch-tier cells: the same experiment forced onto
+# each tier via -tlbmode, so the artifact tracks what the asynchronous
+# fabric costs/saves in wall-clock next to the simulated-cycle tables
+# the `async` experiment row itself regenerates.
+for mode in sync async; do
+    bench_one "fig6@$mode" -exp fig6 -tlbmode "$mode"
+    bench_one "fig10@$mode" -exp fig10 -tlbmode "$mode"
 done
 exp_json=${exp_json%,}
 
