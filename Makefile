@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet vetjson xval sanitize racemodel faultcheck fuzz cover bench check clean
+.PHONY: all build test race lint vet vetjson xval fabproof sanitize racemodel faultcheck fuzz cover bench check clean
 
 all: build
 
@@ -28,7 +28,8 @@ lint:
 
 ## vet: both type-checked analysis tiers (typedlint + the ssa IR analyzers:
 ## flush obligations, lock order, ipistate DFA, detflow taint, parallelsafe,
-## mhp may-happen-in-parallel, lockset race-discipline proofs)
+## mhp may-happen-in-parallel, lockset race-discipline proofs, and the
+## fabproof numeric obligations over the async fabric)
 vet:
 	$(GO) run ./cmd/tlbvet
 
@@ -43,6 +44,14 @@ xval:
 	@cat RACE_XVAL.txt
 	@if grep -q 'unproven' RACE_XVAL.txt; then \
 		echo "xval gate: a race-instrumented field has no static discharge proof"; exit 1; fi
+
+## fabproof: fabric proof-obligation table (the FABPROOF.txt CI artifact) —
+## every numeric invariant of the async shootdown fabric with its status
+fabproof:
+	$(GO) run ./cmd/tlbvet -only fabproof -fabproof FABPROOF.txt
+	@cat FABPROOF.txt
+	@if grep -q 'unproven' FABPROOF.txt; then \
+		echo "fabproof gate: a fabric obligation has no static proof"; exit 1; fi
 
 ## sanitize: run the experiment suite under the shadow-oracle checker
 sanitize:
@@ -65,7 +74,7 @@ fuzz:
 ## cover: coverage summary for the fault plane, the layers it perturbs,
 ## and the dynamic race model the static lockset tier cross-validates
 cover:
-	$(GO) test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ ./internal/race/
+	$(GO) test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ ./internal/race/ ./internal/sanitizer/ssa/
 	$(GO) tool cover -func=coverage.out
 
 ## bench: parallel-harness wall-clock + event-loop allocs -> BENCH_parallel.json

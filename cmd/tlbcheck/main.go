@@ -26,9 +26,11 @@
 // internal/sanitizer/ssa — undischarged flush obligations, static
 // lock-order cycles, the ipistate shootdown-lifecycle DFA, the detflow
 // nondeterminism-taint proof, the parallelsafe restore-discipline proof,
-// and the concurrency-proof pair (mhp may-happen-in-parallel contexts
-// plus lockset discharge proofs for every race-instrumented field), all
-// interprocedural over an SSA IR.
+// the concurrency-proof pair (mhp may-happen-in-parallel contexts
+// plus lockset discharge proofs for every race-instrumented field), and
+// the fabproof numeric tier (abstract-interpretation proofs of the async
+// fabric's ring bounds, counter monotonicity and coalescing soundness),
+// all interprocedural over an SSA IR.
 //
 // Usage:
 //

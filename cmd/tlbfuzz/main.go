@@ -15,6 +15,13 @@
 //	tlbfuzz -seed 12345 -v
 //	tlbfuzz -runs 200 -faults heavy
 //	tlbfuzz -faults drop,noretry -seed 12345 -parallel 1   # replay one schedule
+//	tlbfuzz -broken coalesce -faults light -runs 200       # oracles must convict
+//
+// With -broken it plants a deliberately broken async-fabric variant
+// (ackdrain: the drain acks before the flush lands; coalesce: in-ring
+// merges adopt the newer entry's end and shrink coverage) and the run
+// is expected to FAIL — the printed repro line pins the convicting
+// schedule, the dynamic half of the fabproof cross-validation contract.
 package main
 
 import (
@@ -39,6 +46,11 @@ import (
 
 const pg = pagetable.PageSize4K
 
+// commonBase is the fixed address of the arena every fuzz worker maps
+// and touches at identical virtual addresses (unlike the per-worker
+// arenas), so invalidations cross CPUs' TLBs.
+const commonBase = uint64(0x5000_0000)
+
 func main() {
 	var (
 		runs     = flag.Int("runs", 50, "number of randomized runs")
@@ -48,6 +60,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "seeds fuzzed concurrently (0 = GOMAXPROCS); each seed is an isolated simulation")
 		faults   = flag.String("faults", "none", "fault schedule per run: a preset (none, light, heavy, drop, broken) and/or key=p[:max] overrides")
 		tlbmode  = flag.String("tlbmode", "auto", "shootdown dispatch tier: auto (seed-random), sync, or async")
+		broken   = flag.String("broken", "", "plant a deliberately broken fabric variant the oracles must convict: ackdrain or coalesce (forces -tlbmode async)")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
@@ -62,6 +75,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "tlbfuzz: -tlbmode must be auto, sync or async\n")
 		os.Exit(2)
+	}
+	switch *broken {
+	case "", "ackdrain", "coalesce":
+	default:
+		fmt.Fprintf(os.Stderr, "tlbfuzz: -broken must be ackdrain or coalesce\n")
+		os.Exit(2)
+	}
+	if *broken != "" {
+		// The broken knobs only exist on the async dispatch path.
+		*tlbmode = "async"
 	}
 
 	seeds := make([]uint64, 0, *runs)
@@ -81,7 +104,7 @@ func main() {
 		summary string
 	}
 	results := sched.Collect(len(seeds), func(i int) result {
-		errs, summary := fuzzOne(seeds[i], *ops, *verbose, spec, *tlbmode)
+		errs, summary := fuzzOne(seeds[i], *ops, *verbose, spec, *tlbmode, *broken)
 		return result{errs, summary}
 	})
 	failures := 0
@@ -91,7 +114,7 @@ func main() {
 		}
 		if len(res.errs) > 0 {
 			failures++
-			fmt.Fprintf(os.Stderr, "FAIL seed=%d (repro: %s):\n", seeds[i], reproLine(seeds[i], *ops, spec, *tlbmode))
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d (repro: %s):\n", seeds[i], reproLine(seeds[i], *ops, spec, *tlbmode, *broken))
 			for _, e := range res.errs {
 				fmt.Fprintf(os.Stderr, "  %s\n", e)
 			}
@@ -149,14 +172,24 @@ func randomConfig(r *sim.Rand, tlbmode string) core.Config {
 
 // reproLine renders the one-line command that replays a failing run
 // byte-identically: same seed, same ops, same fault schedule, same
-// dispatch tier, one worker.
-func reproLine(seed uint64, ops int, spec fault.Spec, tlbmode string) string {
-	return fmt.Sprintf("tlbfuzz -faults %s -tlbmode %s -seed %d -ops %d -parallel 1", spec, tlbmode, seed, ops)
+// dispatch tier (and planted breakage, if any), one worker.
+func reproLine(seed uint64, ops int, spec fault.Spec, tlbmode, broken string) string {
+	line := fmt.Sprintf("tlbfuzz -faults %s -tlbmode %s -seed %d -ops %d -parallel 1", spec, tlbmode, seed, ops)
+	if broken != "" {
+		line += " -broken " + broken
+	}
+	return line
 }
 
-func fuzzOne(seed uint64, opsPerThread int, verbose bool, spec fault.Spec, tlbmode string) (errs []string, summary string) {
+func fuzzOne(seed uint64, opsPerThread int, verbose bool, spec fault.Spec, tlbmode, broken string) (errs []string, summary string) {
 	r := sim.NewRand(seed)
 	cfg := randomConfig(r, tlbmode)
+	switch broken {
+	case "ackdrain":
+		cfg.BrokenAckBeforeDrain = true
+	case "coalesce":
+		cfg.BrokenCoalesceShrink = true
+	}
 	pti := r.Uint64()&1 == 0
 
 	eng := sim.NewEngine(seed)
@@ -204,6 +237,16 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool, spec fault.Spec, tlbmo
 				fail("mmap fixed: %v", err)
 				return
 			}
+			// One region every worker touches at the same addresses: the
+			// only surface where one CPU's invalidations cover pages
+			// another CPU has cached, which the coalesce-shrink oracle
+			// check needs (per-worker mappings never cross TLBs).
+			if w == 0 {
+				if _, err := ctx.MM().MMapFixed(commonBase, 8*pg, mm.ProtRead|mm.ProtWrite, mm.Anon, nil, 0); err != nil {
+					fail("mmap common: %v", err)
+					return
+				}
+			}
 			shared, err := syscalls.MMap(ctx, 16*pg, mm.ProtRead|mm.ProtWrite, mm.FileShared, file, 0)
 			if err != nil {
 				fail("mmap shared: %v", err)
@@ -220,7 +263,7 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool, spec fault.Spec, tlbmo
 			}
 			for i := 0; i < opsPerThread; i++ {
 				page := tr.Uint64n(8)
-				switch tr.Uint64n(12) {
+				switch tr.Uint64n(13) {
 				case 0, 1, 2:
 					ctx.Touch(arena.Start+page*pg, mm.AccessWrite)
 				case 3:
@@ -244,6 +287,18 @@ func fuzzOne(seed uint64, opsPerThread int, verbose bool, spec fault.Spec, tlbmo
 						}
 					}
 					ctx.UserRun(2000)
+				case 10:
+					// Descending adjacent madvises over the common region:
+					// every worker caches these same addresses, so when
+					// kick delays leave the first inval queued, the pair
+					// meets in a remote ring — the exact shape whose
+					// broken shrink merge loses a page another CPU still
+					// holds.
+					off := tr.Uint64n(6)
+					syscalls.MadviseDontneed(ctx, commonBase+(off+1)*pg, 2*pg)
+					syscalls.MadviseDontneed(ctx, commonBase+off*pg, pg)
+				case 11:
+					ctx.Touch(commonBase+page*pg, mm.AccessRead)
 				default:
 					ctx.UserRun(1500)
 				}

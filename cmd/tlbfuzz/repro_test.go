@@ -17,7 +17,7 @@ func TestReproLineCarriesFaultSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	line := reproLine(12345, 120, spec, "async")
+	line := reproLine(12345, 120, spec, "async", "coalesce")
 	for _, want := range []string{
 		"tlbfuzz ",
 		"-faults " + spec.String(),
@@ -25,13 +25,14 @@ func TestReproLineCarriesFaultSchedule(t *testing.T) {
 		"-seed 12345",
 		"-ops 120",
 		"-parallel 1",
+		"-broken coalesce",
 	} {
 		if !strings.Contains(line, want) {
 			t.Errorf("repro line %q missing %q", line, want)
 		}
 	}
-	if got := reproLine(7, 10, fault.Spec{}, "auto"); !strings.Contains(got, "-faults none") || !strings.Contains(got, "-tlbmode auto") {
-		t.Errorf("fault-free repro line %q should spell out '-faults none' and '-tlbmode auto'", got)
+	if got := reproLine(7, 10, fault.Spec{}, "auto", ""); !strings.Contains(got, "-faults none") || !strings.Contains(got, "-tlbmode auto") || strings.Contains(got, "-broken") {
+		t.Errorf("fault-free repro line %q should spell out '-faults none' and '-tlbmode auto' and omit -broken", got)
 	}
 }
 
@@ -45,8 +46,8 @@ func TestFuzzOneDeterministicUnderFaults(t *testing.T) {
 		t.Fatal("heavy preset missing")
 	}
 	for _, seed := range []uint64{3, 101} {
-		errs1, sum1 := fuzzOne(seed, 40, true, spec, "auto")
-		errs2, sum2 := fuzzOne(seed, 40, true, spec, "auto")
+		errs1, sum1 := fuzzOne(seed, 40, true, spec, "auto", "")
+		errs2, sum2 := fuzzOne(seed, 40, true, spec, "auto", "")
 		if fmt.Sprint(errs1) != fmt.Sprint(errs2) {
 			t.Errorf("seed %d: errors differ between identical runs:\n  %v\n  %v", seed, errs1, errs2)
 		}
@@ -65,7 +66,7 @@ func TestFuzzOneCoherentUnderDropSchedule(t *testing.T) {
 	if !ok {
 		t.Fatal("drop preset missing")
 	}
-	errs, sum := fuzzOne(11, 40, true, spec, "auto")
+	errs, sum := fuzzOne(11, 40, true, spec, "auto", "")
 	if len(errs) != 0 {
 		t.Fatalf("coherence violated under drop schedule:\n  %s", strings.Join(errs, "\n  "))
 	}
@@ -90,8 +91,33 @@ func TestFuzzOneOverlappingFlushWindows(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	errs, _ := fuzzOne(8717488660339093609, 120, false, spec, "sync")
+	errs, _ := fuzzOne(8717488660339093609, 120, false, spec, "sync", "")
 	if len(errs) != 0 {
 		t.Fatalf("overlapping writeback/CoW windows misreported:\n  %s", strings.Join(errs, "\n  "))
+	}
+}
+
+// TestFuzzOneBrokenCoalesceRepro pins the bisected one-line repro for
+// the BrokenCoalesceShrink cross-validation contract (EXPERIMENTS.md):
+// under this schedule the planted shrink merge loses in-ring coverage of
+// a commonly-mapped page and the shadow oracle convicts it as exactly
+// one stale-translation — while the sound merge on the identical
+// schedule stays coherent. The static half of the contract is
+// ssa.TestFabproofBrokenCoalesceWitness.
+func TestFuzzOneBrokenCoalesceRepro(t *testing.T) {
+	spec, err := fault.Parse("delay=1:12000")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	const seed = 13811972702172687379
+	errs, _ := fuzzOne(seed, 240, false, spec, "async", "coalesce")
+	if len(errs) != 1 {
+		t.Fatalf("broken coalesce errors = %d, want exactly 1:\n  %s", len(errs), strings.Join(errs, "\n  "))
+	}
+	if !strings.Contains(errs[0], "stale-translation") {
+		t.Fatalf("conviction should be a stale-translation: %s", errs[0])
+	}
+	if errs, _ := fuzzOne(seed, 240, false, spec, "async", ""); len(errs) != 0 {
+		t.Fatalf("sound merge on the same schedule convicted:\n  %s", strings.Join(errs, "\n  "))
 	}
 }

@@ -21,6 +21,15 @@
 //     CPU confinement, ack ordering, single-writer epochs. The seeded
 //     BrokenEarlyAck violation must surface as exactly one witness; the
 //     per-entry statuses are the RACE_XVAL cross-validation artifact
+//   - fabproof: numeric abstract-interpretation proofs for the async
+//     shootdown fabric — ring appends bounded by the declared capacity
+//     with overflow provably collapsing to a full flush, posted/acked
+//     sequence and TLB-generation monotonicity, watchdog retry caps,
+//     coalescing soundness as interval containment (the seeded
+//     BrokenCoalesceShrink coverage loss must surface as exactly one
+//     witness), callback-fires-exactly-once including the FreedTables
+//     synchronous fallback, and ring-entry well-formedness. The
+//     per-obligation statuses are the FABPROOF artifact
 //   - detflow: nondeterminism-taint — time.Now, math/rand, map-range
 //     order and select arms must never reach simulated state, digests,
 //     stats or event timestamps
@@ -48,6 +57,8 @@
 //	tlbvet -parallel 8      # fan the tiers out over 8 workers
 //	tlbvet -suppressions    # also list documented suppressions
 //	tlbvet -xval FILE       # write the race cross-validation table
+//	tlbvet -fabproof FILE   # write the fabric obligation proof table
+//	tlbvet -only a,b        # run only the named analyzers (one typecheck)
 package main
 
 import (
@@ -75,6 +86,9 @@ type report struct {
 	// XVal is the race cross-validation table: one row per registry
 	// entry with its static discharge status.
 	XVal []ssa.XValRow `json:"xval"`
+	// FabRows is the fabric obligation proof table: one row per fabproof
+	// obligation with its status (proven / waived / unproven).
+	FabRows []ssa.FabRow `json:"fabproof"`
 	// FuncsVisited records per-analyzer whole-program coverage for the
 	// ssa tier, so dashboards can spot a silently narrowed walk.
 	FuncsVisited map[string]int `json:"funcs_visited"`
@@ -89,9 +103,17 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
 		parallel = flag.Int("parallel", 0, "worker count for fanning out the analysis tiers (0 = GOMAXPROCS)")
 		xvalOut  = flag.String("xval", "", "write the race cross-validation table (RACE_XVAL) to this file")
+		fabOut   = flag.String("fabproof", "", "write the fabric obligation proof table (FABPROOF) to this file")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
+
+	typedNames, ssaNames, runTyped, runSSA, err := partitionOnly(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlbvet: %v\n", err)
+		os.Exit(2)
+	}
 
 	// Both tiers share one load+typecheck, then fan out on the pool. The
 	// merged report is re-sorted, so worker count never changes the bytes.
@@ -108,13 +130,19 @@ func main() {
 	}
 	results := sched.Collect(2, func(i int) *report {
 		if i == 0 {
-			r := typedlint.CheckModule(m)
+			if !runTyped {
+				return &report{}
+			}
+			r := typedlint.CheckModuleOnly(m, typedNames)
 			return &report{Findings: r.Findings, Suppressions: r.Suppressions, TimingsMS: r.Timings}
 		}
-		r := ssa.CheckModule(m)
+		if !runSSA {
+			return &report{}
+		}
+		r := ssa.CheckModuleOnly(m, ssaNames)
 		return &report{
 			Findings: r.Findings, Suppressions: r.Suppressions,
-			Witnesses: r.Witnesses, XVal: r.XVal,
+			Witnesses: r.Witnesses, XVal: r.XVal, FabRows: r.FabRows,
 			FuncsVisited: r.FuncsVisited, TimingsMS: r.Timings,
 		}
 	})
@@ -124,6 +152,9 @@ func main() {
 		rep.Witnesses = append(rep.Witnesses, r.Witnesses...)
 		if r.XVal != nil {
 			rep.XVal = r.XVal
+		}
+		if r.FabRows != nil {
+			rep.FabRows = r.FabRows
 		}
 		if r.FuncsVisited != nil {
 			rep.FuncsVisited = r.FuncsVisited
@@ -138,6 +169,12 @@ func main() {
 
 	if *xvalOut != "" {
 		if err := os.WriteFile(*xvalOut, []byte(renderXVal(rep)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tlbvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *fabOut != "" {
+		if err := os.WriteFile(*fabOut, []byte(renderFabproof(rep)), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "tlbvet: %v\n", err)
 			os.Exit(2)
 		}
@@ -214,4 +251,59 @@ func renderXVal(rep report) string {
 		fmt.Fprintf(&b, "witness | %s:%d | %s\n", w.File, w.Line, w.Msg)
 	}
 	return b.String()
+}
+
+// renderFabproof formats the fabric obligation table published as
+// FABPROOF.txt: one row per fabproof obligation. CI fails on any
+// "unproven" row — a fabric invariant the numeric tier cannot discharge
+// and no bounded-by-design waiver covers.
+func renderFabproof(rep report) string {
+	var b strings.Builder
+	b.WriteString("# FABPROOF: static proof status of every async-fabric obligation\n")
+	b.WriteString("# obligation | subject | status | proof\n")
+	for _, r := range rep.FabRows {
+		fmt.Fprintf(&b, "%s | %s | %s | %s\n", r.Key, r.Subject, r.Status, r.Detail)
+	}
+	for _, w := range rep.Witnesses {
+		if w.Analyzer != "fabproof" {
+			continue
+		}
+		fmt.Fprintf(&b, "witness | %s:%d | %s\n", w.File, w.Line, w.Msg)
+	}
+	return b.String()
+}
+
+// partitionOnly splits a comma-separated -only list between the typed and
+// ssa tiers, validating every name against the registered analyzers.
+func partitionOnly(only string) (typedNames, ssaNames []string, runTyped, runSSA bool, err error) {
+	if strings.TrimSpace(only) == "" {
+		return nil, nil, true, true, nil
+	}
+	inTyped := map[string]bool{}
+	for _, n := range typedlint.Analyzers() {
+		inTyped[n] = true
+	}
+	inSSA := map[string]bool{}
+	for _, n := range ssa.Analyzers() {
+		inSSA[n] = true
+	}
+	for _, raw := range strings.Split(only, ",") {
+		n := strings.TrimSpace(raw)
+		if n == "" {
+			continue
+		}
+		switch {
+		case inTyped[n]:
+			typedNames = append(typedNames, n)
+		case inSSA[n]:
+			ssaNames = append(ssaNames, n)
+		default:
+			var known []string
+			known = append(known, typedlint.Analyzers()...)
+			known = append(known, ssa.Analyzers()...)
+			return nil, nil, false, false,
+				fmt.Errorf("-only: unknown analyzer %q (known: %s)", n, strings.Join(known, ", "))
+		}
+	}
+	return typedNames, ssaNames, len(typedNames) > 0, len(ssaNames) > 0, nil
 }

@@ -92,6 +92,14 @@ type Config struct {
 	// deferred-discharge windows have a known-bad async variant to
 	// catch; tests assert exactly one stale-translation violation.
 	BrokenAckBeforeDrain bool
+	// BrokenCoalesceShrink makes in-ring coalescing adopt the newer
+	// inval's end instead of the max of both ends, so a merge with a
+	// shorter newer entry silently stops covering the older entry's
+	// tail. UNSAFE by design: it exists so the fabproof static tier
+	// (coalescing soundness as interval containment) and the shadow-TLB
+	// oracle convict the same bug; tests assert exactly one static
+	// coverage-loss finding and exactly one stale-translation.
+	BrokenCoalesceShrink bool
 }
 
 // Baseline returns the unmodified Linux protocol configuration.
@@ -140,6 +148,7 @@ func (c Config) String() string {
 	add(c.AsyncShootdown, "async")
 	add(c.BrokenEarlyAck, "BROKEN-earlyack")
 	add(c.BrokenAckBeforeDrain, "BROKEN-ackdrain")
+	add(c.BrokenCoalesceShrink, "BROKEN-coalesce")
 	if out == "" {
 		return "baseline"
 	}
@@ -220,6 +229,9 @@ func (c Config) validateAgainst(consolidatedSMP bool) error {
 	}
 	if c.BrokenAckBeforeDrain && !c.AsyncShootdown {
 		return fmt.Errorf("core: BrokenAckBeforeDrain requires AsyncShootdown")
+	}
+	if c.BrokenCoalesceShrink && !c.AsyncShootdown {
+		return fmt.Errorf("core: BrokenCoalesceShrink requires AsyncShootdown")
 	}
 	return nil
 }

@@ -124,6 +124,7 @@ func NewFlusher(k *kernel.Kernel, cfg Config) (*Flusher, error) {
 	} else {
 		k.SMP.SetDrainApplier(nil)
 	}
+	k.SMP.SetBrokenCoalesceShrink(cfg.BrokenCoalesceShrink)
 	f.EnableRace()
 	return f, nil
 }

@@ -6,7 +6,6 @@ import (
 	"go/types"
 
 	"shootdown/internal/sanitizer/lint"
-	"shootdown/internal/sanitizer/typedlint"
 )
 
 // ipistate is the typestate checker for the shootdown request lifecycle.
@@ -166,7 +165,7 @@ func checkIPIState(ctx *modCtx) ([]lint.Finding, []Suppression) {
 		ia.analyzeUnit(f)
 	})
 	ctx.visited["ipistate"] = visited
-	typedlint.SortFindings(ia.findings)
+	sortFindings(ia.findings)
 	return ia.findings, nil
 }
 

@@ -85,6 +85,10 @@ type Value struct {
 	Callee  *types.Func
 	Builtin string
 	ResIdx  int
+	// Op is the operator token for VOp values lowered from unary/binary
+	// expressions, ++/-- statements (INC/DEC) and compound assignments
+	// (ADD_ASSIGN, ...); token.ILLEGAL when the op is not operator-shaped.
+	Op token.Token
 	// Args are operand values: phi operands (aligned with Block.Preds),
 	// call arguments, composite elements, operator operands.
 	Args []*Value
@@ -442,6 +446,7 @@ func (f *Func) lowerNode(b *IRBlock, n ast.Node) {
 		old := f.evalExpr(b, v.X)
 		nv := f.newValue(VOp, typeOf(f.info, v.X), v.Pos())
 		nv.Expr = v.X
+		nv.Op = v.Tok
 		nv.Args = []*Value{old}
 		f.assignTo(b, v.X, nv)
 	case *ast.ExprStmt:
@@ -547,6 +552,7 @@ func (f *Func) lowerAssign(b *IRBlock, as *ast.AssignStmt) {
 			old := f.evalExpr(b, l)
 			nv := f.newValue(VOp, typeOf(f.info, l), as.Pos())
 			nv.Expr = l
+			nv.Op = as.Tok
 			nv.Args = []*Value{old, val}
 			val = nv
 		}
@@ -662,7 +668,7 @@ func (f *Func) evalExpr(b *IRBlock, e ast.Expr) *Value {
 			return r
 		}
 		r := f.newValue(VOp, typeOf(f.info, v), v.Pos())
-		r.Expr, r.Args = v, []*Value{base}
+		r.Expr, r.Op, r.Args = v, v.Op, []*Value{base}
 		if v.Op == token.ARROW && b.SelectComm {
 			// Receives chosen by a select arm are order-dependent.
 			r.Block = b
@@ -672,7 +678,7 @@ func (f *Func) evalExpr(b *IRBlock, e ast.Expr) *Value {
 		x := f.evalExpr(b, v.X)
 		y := f.evalExpr(b, v.Y)
 		r := f.newValue(VOp, typeOf(f.info, v), v.Pos())
-		r.Expr, r.Args = v, []*Value{x, y}
+		r.Expr, r.Op, r.Args = v, v.Op, []*Value{x, y}
 		return r
 	case *ast.CompositeLit:
 		r := f.newValue(VComposite, typeOf(f.info, v), v.Pos())

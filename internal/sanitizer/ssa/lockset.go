@@ -9,7 +9,6 @@ import (
 
 	"shootdown/internal/race"
 	"shootdown/internal/sanitizer/lint"
-	"shootdown/internal/sanitizer/typedlint"
 )
 
 // lockset is the RacerD-style discharge prover for the dynamic race
@@ -115,8 +114,8 @@ func checkLockset(ctx *modCtx) ([]lint.Finding, []Suppression) {
 	}
 	ctx.visited["lockset"] = visited
 	la.ctx.lockRes = &lockResult{witnesses: la.witnesses, xval: la.xvalRows()}
-	typedlint.SortFindings(la.findings)
-	typedlint.SortFindings(la.witnesses)
+	sortFindings(la.findings)
+	sortFindings(la.witnesses)
 	return la.findings, la.sups
 }
 

@@ -7,7 +7,6 @@ import (
 	"go/types"
 
 	"shootdown/internal/sanitizer/lint"
-	"shootdown/internal/sanitizer/typedlint"
 )
 
 // mhp is the whole-program may-happen-in-parallel analysis. The simulator
@@ -144,7 +143,7 @@ func checkMHP(ctx *modCtx) ([]lint.Finding, []Suppression) {
 		}
 	})
 	ctx.visited["mhp"] = visited
-	typedlint.SortFindings(m.findings)
+	sortFindings(m.findings)
 	return m.findings, nil
 }
 

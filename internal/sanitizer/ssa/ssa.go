@@ -61,6 +61,7 @@ const (
 	modPath        = typedlint.ModulePath
 	transferMarker = typedlint.TransferMarker
 	lockFreeMarker = typedlint.LockFreeMarker
+	fabBoundMarker = typedlint.FabBoundMarker
 )
 
 var (
@@ -90,6 +91,10 @@ type Result struct {
 	// XVal is the cross-validation report: one row per internal/race
 	// registry entry with its static discharge status.
 	XVal []XValRow
+	// FabRows is the fabproof report: one row per fabric obligation with
+	// its proof status (proven / waived / unproven). CI fails on any
+	// unproven row, mirroring the XVal artifact.
+	FabRows []FabRow
 	// FuncsVisited counts, per analyzer, the function declarations walked;
 	// the coverage-floor test asserts the whole-program analyzers visit at
 	// least as many functions as the typedlint tier.
@@ -120,8 +125,14 @@ type modCtx struct {
 	// "lock-free-by-design:" waivers.
 	lockMarkers     typedlint.MarkerIndex
 	usedLockMarkers map[string]map[int]bool
+	// fabMarkers/usedFabMarkers do the same for the fabproof tier's
+	// "bounded-by-design:" waivers.
+	fabMarkers     typedlint.MarkerIndex
+	usedFabMarkers map[string]map[int]bool
 	// lockRes is filled by checkLockset for run() to lift into Result.
 	lockRes *lockResult
+	// fabRes is filled by checkFabproof for run() to lift into Result.
+	fabRes *fabResult
 	// prog caches the whole-module SSA form shared by the analyzers.
 	prog *Program
 	// mhp caches the may-happen-in-parallel facts (built by checkMHP,
@@ -135,6 +146,10 @@ func (ctx *modCtx) markerFor(file string, line int) (string, bool) {
 
 func (ctx *modCtx) lockMarkerFor(file string, line int) (string, bool) {
 	return consumeMarker(ctx.lockMarkers, ctx.usedLockMarkers, file, line)
+}
+
+func (ctx *modCtx) fabMarkerFor(file string, line int) (string, bool) {
+	return consumeMarker(ctx.fabMarkers, ctx.usedFabMarkers, file, line)
 }
 
 // consumeMarker resolves a marker covering line and records the marker's
@@ -165,7 +180,23 @@ func Check() (*Result, error) {
 
 // CheckModule runs every ssa-tier analyzer over an already-loaded module.
 func CheckModule(m *Module) *Result {
-	return run(m, m.Pkgs, nil)
+	return run(m, m.Pkgs, nil, nil)
+}
+
+// CheckModuleOnly runs only the named ssa-tier analyzers (all when names
+// is empty) over an already-loaded module, sharing one typecheck.
+func CheckModuleOnly(m *Module, names []string) *Result {
+	return run(m, m.Pkgs, nil, names)
+}
+
+// Analyzers lists the ssa-tier analyzer names in execution order, for
+// -only flag validation.
+func Analyzers() []string {
+	var out []string
+	for _, an := range analyzerTable {
+		out = append(out, an.name)
+	}
+	return out
 }
 
 // CheckFixture typechecks one testdata fixture against the module and runs
@@ -177,37 +208,65 @@ func CheckFixture(m *Module, file string) (*Result, error) {
 		return nil, err
 	}
 	pkgs := append(append([]*Package{}, m.Pkgs...), fp)
-	return run(m, pkgs, fp), nil
+	return run(m, pkgs, fp, nil), nil
+}
+
+// analyzerTable lists the ssa-tier analyzers in execution order.
+// stalemarker must run last: it flags markers nothing else consumed, so
+// it is skipped in -only runs that omit any marker-consuming analyzer.
+var analyzerTable = []struct {
+	name string
+	run  func(*modCtx) ([]lint.Finding, []Suppression)
+}{
+	{"flushobligation", checkFlushObligation},
+	{"lockorder", checkLockOrder},
+	{"ipistate", checkIPIState},
+	{"detflow", checkDetFlow},
+	{"parallelsafe", checkParallelSafe},
+	{"mhp", checkMHP},
+	{"lockset", checkLockset},
+	{"fabproof", checkFabproof},
+	{"stalemarker", checkStaleMarkers},
 }
 
 // run executes the analyzers over pkgs. When only is non-nil, findings are
 // restricted to that package's files (fixture mode); module-wide context
-// (summaries, call graph) still spans all of pkgs.
-func run(m *Module, pkgs []*Package, only *Package) *Result {
+// (summaries, call graph) still spans all of pkgs. When names is non-empty,
+// only the named analyzers execute — except stalemarker, which additionally
+// requires every marker-consuming analyzer to have run (otherwise unconsumed
+// markers would be false positives).
+func run(m *Module, pkgs []*Package, only *Package, names []string) *Result {
 	ctx := &modCtx{
 		m:               m,
 		pkgs:            pkgs,
 		markers:         typedlint.CollectMarkers(m.Fset, pkgs),
 		lockMarkers:     typedlint.CollectMarkersFor(m.Fset, pkgs, lockFreeMarker),
+		fabMarkers:      typedlint.CollectMarkersFor(m.Fset, pkgs, fabBoundMarker),
 		visited:         make(map[string]int),
 		usedMarkers:     make(map[string]map[int]bool),
 		usedLockMarkers: make(map[string]map[int]bool),
+		usedFabMarkers:  make(map[string]map[int]bool),
 	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	partial := len(want) > 0 && func() bool {
+		for _, an := range analyzerTable {
+			if an.name != "stalemarker" && !want[an.name] {
+				return true
+			}
+		}
+		return false
+	}()
 	res := &Result{Timings: make(map[string]float64)}
-	// stalemarker must run last: it flags markers nothing else consumed.
-	for _, an := range []struct {
-		name string
-		run  func(*modCtx) ([]lint.Finding, []Suppression)
-	}{
-		{"flushobligation", checkFlushObligation},
-		{"lockorder", checkLockOrder},
-		{"ipistate", checkIPIState},
-		{"detflow", checkDetFlow},
-		{"parallelsafe", checkParallelSafe},
-		{"mhp", checkMHP},
-		{"lockset", checkLockset},
-		{"stalemarker", checkStaleMarkers},
-	} {
+	for _, an := range analyzerTable {
+		if len(want) > 0 && !want[an.name] {
+			continue
+		}
+		if an.name == "stalemarker" && partial {
+			continue
+		}
 		start := time.Now()
 		fs, sups := an.run(ctx)
 		res.Timings[an.name] += float64(time.Since(start).Nanoseconds()) / 1e6
@@ -215,8 +274,12 @@ func run(m *Module, pkgs []*Package, only *Package) *Result {
 		res.Suppressions = append(res.Suppressions, sups...)
 	}
 	if ctx.lockRes != nil {
-		res.Witnesses = ctx.lockRes.witnesses
+		res.Witnesses = append(res.Witnesses, ctx.lockRes.witnesses...)
 		res.XVal = ctx.lockRes.xval
+	}
+	if ctx.fabRes != nil {
+		res.Witnesses = append(res.Witnesses, ctx.fabRes.witnesses...)
+		res.FabRows = ctx.fabRes.rows
 	}
 	res.FuncsVisited = ctx.visited
 	if only != nil {
@@ -224,10 +287,17 @@ func run(m *Module, pkgs []*Package, only *Package) *Result {
 		res.Suppressions = typedlint.FilterSupsByFiles(res.Suppressions, only.FileNames)
 		res.Witnesses = typedlint.FilterByFiles(res.Witnesses, only.FileNames)
 	}
-	typedlint.SortFindings(res.Findings)
+	sortFindings(res.Findings)
 	typedlint.SortSuppressions(res.Suppressions)
-	typedlint.SortFindings(res.Witnesses)
+	sortFindings(res.Witnesses)
 	return res
+}
+
+// sortFindings is the one canonical finding order for the ssa tier; every
+// analyzer and the combined report sort through it so output is
+// byte-identical no matter how the caller schedules the work.
+func sortFindings(fs []lint.Finding) {
+	typedlint.SortFindings(fs)
 }
 
 // checkStaleMarkers reports every suppression marker that no analyzer
@@ -247,6 +317,8 @@ func checkStaleMarkers(ctx *modCtx) ([]lint.Finding, []Suppression) {
 			"the flush obligation here is already proven discharged"},
 		{ctx.lockMarkers, ctx.usedLockMarkers, lockFreeMarker,
 			"the lockset tier proves this access disciplined without a waiver"},
+		{ctx.fabMarkers, ctx.usedFabMarkers, fabBoundMarker,
+			"the fabproof tier proves this bound without a waiver"},
 	} {
 		for file, lines := range mk.idx {
 			for line := range lines {

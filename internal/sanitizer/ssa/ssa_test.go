@@ -203,10 +203,16 @@ func TestLocksetBrokenEarlyAckWitness(t *testing.T) {
 	if len(res.Findings) != 0 {
 		t.Fatalf("module should be clean, got %v", res.Findings)
 	}
-	if len(res.Witnesses) != 1 {
-		t.Fatalf("witnesses = %d, want exactly 1 (the seeded BrokenEarlyAck site): %v", len(res.Witnesses), res.Witnesses)
+	var lockWits []lint.Finding
+	for _, w := range res.Witnesses {
+		if w.Analyzer == "lockset" {
+			lockWits = append(lockWits, w)
+		}
 	}
-	w := res.Witnesses[0]
+	if len(lockWits) != 1 {
+		t.Fatalf("lockset witnesses = %d, want exactly 1 (the seeded BrokenEarlyAck site): %v", len(lockWits), res.Witnesses)
+	}
+	w := lockWits[0]
 	if !strings.Contains(w.File, "internal/core/flusher.go") {
 		t.Fatalf("witness should sit in the Flusher: %v", w)
 	}
@@ -258,7 +264,7 @@ func TestWholeProgramCoverageFloor(t *testing.T) {
 		t.Fatal("typedlint visited 0 functions — the floor itself is broken")
 	}
 	res := CheckModule(m)
-	for _, an := range []string{"ipistate", "detflow", "parallelsafe", "mhp", "lockset"} {
+	for _, an := range []string{"ipistate", "detflow", "parallelsafe", "mhp", "lockset", "fabproof"} {
 		if got := res.FuncsVisited[an]; got < floor {
 			t.Fatalf("%s visited %d functions, below the typedlint floor %d", an, got, floor)
 		}
@@ -277,6 +283,9 @@ func renderReport(res *Result) string {
 	for _, s := range res.Suppressions {
 		fmt.Fprintf(&b, "%s:%d: %s: suppressed: %s\n", s.File, s.Line, s.Analyzer, s.Reason)
 	}
+	for _, r := range res.FabRows {
+		fmt.Fprintf(&b, "%s | %s | %s | %s\n", r.Key, r.Subject, r.Status, r.Detail)
+	}
 	return b.String()
 }
 
@@ -293,7 +302,11 @@ func TestVetOutputParallelGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs := append(append([]*Package{}, m.Pkgs...), fp1, fp2)
+	fp3, err := m.LoadFixture(filepath.Join("testdata", "bad_fabproof.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := append(append([]*Package{}, m.Pkgs...), fp1, fp2, fp3)
 
 	report := func() string {
 		outs := sched.Collect(2, func(i int) string {
@@ -305,7 +318,7 @@ func TestVetOutputParallelGolden(t *testing.T) {
 				}
 				return b.String()
 			}
-			return renderReport(run(m, pkgs, nil))
+			return renderReport(run(m, pkgs, nil, nil))
 		})
 		return strings.Join(outs, "")
 	}

@@ -1,0 +1,13 @@
+// Fixture: a stale fabproof waiver. The marker below covers an append
+// the fabproof tier never obligates (a plain slice, not a fabric ring),
+// so nothing consumes it — stalemarker must report exactly one finding
+// pointing at the marker line.
+package fabmarkerfix
+
+func boundedAlready(xs []int) []int {
+	// bounded-by-design: retired waiver that nothing needs anymore.
+	if len(xs) >= 4 {
+		return xs
+	}
+	return append(xs, 0)
+}

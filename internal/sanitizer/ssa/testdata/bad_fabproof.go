@@ -1,0 +1,24 @@
+// Fixture: an unbounded ring append the fabproof tier must report as
+// exactly one finding. The struct below is fabric-shaped (ring slice,
+// posted/acked sequence counters, full-flush flag), so discovery picks
+// it up, and the append never consults the ring's length — there is no
+// capacity check and no full-flush collapse, so the pre-append length
+// bound is unprovable and the ring can grow without limit.
+package fabprooffix
+
+type inval struct {
+	Start, End   uint64
+	GenLo, GenHi uint64
+	Full         bool
+}
+
+type ringCPU struct {
+	ring     []inval
+	postSeq  uint64
+	ackSeq   uint64
+	flushAll bool
+}
+
+func appendUnchecked(rc *ringCPU, inv inval) {
+	rc.ring = append(rc.ring, inv)
+}

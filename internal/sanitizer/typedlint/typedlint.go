@@ -69,7 +69,23 @@ func Check() (*Result, error) {
 
 // CheckModule runs every typed analyzer over an already-loaded module.
 func CheckModule(m *Module) *Result {
-	return run(m, m.Pkgs, nil)
+	return run(m, m.Pkgs, nil, nil)
+}
+
+// CheckModuleOnly runs only the named typed analyzers (all when names is
+// empty) over an already-loaded module, sharing one typecheck.
+func CheckModuleOnly(m *Module, names []string) *Result {
+	return run(m, m.Pkgs, nil, names)
+}
+
+// Analyzers lists the typed-tier analyzer names in execution order, for
+// -only flag validation.
+func Analyzers() []string {
+	var out []string
+	for _, an := range analyzerTable {
+		out = append(out, an.name)
+	}
+	return out
 }
 
 // CheckFixture typechecks one testdata fixture against the module and runs
@@ -81,23 +97,34 @@ func CheckFixture(m *Module, file string) (*Result, error) {
 		return nil, err
 	}
 	pkgs := append(append([]*Package{}, m.Pkgs...), fp)
-	return run(m, pkgs, fp), nil
+	return run(m, pkgs, fp, nil), nil
+}
+
+// analyzerTable lists the typed-tier analyzers in execution order.
+var analyzerTable = []struct {
+	name string
+	fn   func(*modCtx) ([]lint.Finding, []Suppression)
+}{
+	{"determinism", checkDeterminismTyped},
+	{"costconst", checkCostConst},
+	{"observerpurity", checkObserverPurityTyped},
 }
 
 // run executes the analyzers over pkgs. When only is non-nil, findings are
 // restricted to that package's files (fixture mode); module-wide context
-// (summaries, call graph) still spans all of pkgs.
-func run(m *Module, pkgs []*Package, only *Package) *Result {
+// (summaries, call graph) still spans all of pkgs. When names is non-empty,
+// only the named analyzers execute.
+func run(m *Module, pkgs []*Package, only *Package, names []string) *Result {
 	ctx := &modCtx{m: m, pkgs: pkgs, markers: CollectMarkers(m.Fset, pkgs)}
 	res := &Result{FuncsVisited: len(AllFuncs(pkgs)), Timings: make(map[string]float64)}
-	for _, an := range []struct {
-		name string
-		fn   func(*modCtx) ([]lint.Finding, []Suppression)
-	}{
-		{"determinism", checkDeterminismTyped},
-		{"costconst", checkCostConst},
-		{"observerpurity", checkObserverPurityTyped},
-	} {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	for _, an := range analyzerTable {
+		if len(want) > 0 && !want[an.name] {
+			continue
+		}
 		start := time.Now()
 		fs, sups := an.fn(ctx)
 		res.Timings[an.name] += float64(time.Since(start).Nanoseconds()) / 1e6
@@ -191,6 +218,11 @@ const TransferMarker = "obligation-transferred:"
 // discharge. Like TransferMarker, an unconsumed one is a stalemarker
 // finding.
 const LockFreeMarker = "lock-free-by-design:"
+
+// FabBoundMarker is the comment marker waiving a fabproof obligation: it
+// documents why a fabric bound the numeric tier cannot discharge holds
+// anyway. Like the others, an unconsumed one is a stalemarker finding.
+const FabBoundMarker = "bounded-by-design:"
 
 // MarkerIndex maps file → line → marker reason. A marker covers its own
 // line and the line below it (doc-comment style).

@@ -132,7 +132,7 @@ func TestVetOutputOrderedAndParallelStable(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i] = renderReport(run(m, pkgs, fp))
+			out[i] = renderReport(run(m, pkgs, fp, nil))
 		}(i)
 	}
 	wg.Wait()
@@ -146,7 +146,7 @@ func TestVetOutputOrderedAndParallelStable(t *testing.T) {
 		}
 	}
 	// Sortedness: file, then line, then analyzer.
-	res := run(m, pkgs, fp)
+	res := run(m, pkgs, fp, nil)
 	for i := 1; i < len(res.Findings); i++ {
 		a, b := res.Findings[i-1], res.Findings[i]
 		if a.File > b.File || (a.File == b.File && a.Line > b.Line) ||

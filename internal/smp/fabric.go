@@ -126,6 +126,12 @@ func (l *Layer) SetDrainApplier(fn func(p *sim.Proc, cpu mach.CPU, batch []Inval
 // AsyncEnabled reports whether a drain applier is registered.
 func (l *Layer) AsyncEnabled() bool { return l.drainApply != nil }
 
+// SetBrokenCoalesceShrink plants the deliberately broken coalescing
+// variant: merged ring entries adopt the newer inval's end instead of
+// the max of both, silently shrinking coverage. The static fabproof
+// tier and the dynamic shadow-TLB oracle must both convict it.
+func (l *Layer) SetBrokenCoalesceShrink(on bool) { l.brokenCoalesce = on }
+
 func (l *Layer) fabricOf(cpu mach.CPU) *fabricCPU {
 	fc := l.fabric[cpu]
 	if fc.ringLine == nil {
@@ -157,13 +163,27 @@ func canCoalesce(prev, next *Inval) bool {
 	return next.Start <= prev.End && prev.Start <= next.End
 }
 
-func mergeInval(prev, next *Inval) {
+// mergeInval folds next into prev in-ring. Soundness contract (proved
+// statically by fabproof): on every path the merged entry either goes
+// full or keeps [min(Start), max(End)) — covering both inputs — while
+// GenHi advances to next's run.
+func (l *Layer) mergeInval(prev, next *Inval) {
 	prev.GenHi = next.GenHi
 	if prev.Full {
 		return
 	}
 	if next.Full {
 		prev.Full = true
+		return
+	}
+	if l.brokenCoalesce {
+		// BROKEN-coalesce: adopt next's end instead of the max. When
+		// next ends below prev the merged entry silently stops covering
+		// prev's tail, and a stale translation survives the drain.
+		prev.End = next.End
+		if next.Start < prev.Start {
+			prev.Start = next.Start
+		}
 		return
 	}
 	if next.Start < prev.Start {
@@ -214,11 +234,16 @@ func (l *Layer) PostAsync(p *sim.Proc, from mach.CPU, targets mach.CPUMask, inv 
 		fc.fabPostSeq++
 		b.seqs[i] = fc.fabPostSeq
 		l.stats.AsyncPosts++
-		switch {
-		case len(fc.fabRing) > 0 && canCoalesce(&fc.fabRing[len(fc.fabRing)-1], &inv):
-			mergeInval(&fc.fabRing[len(fc.fabRing)-1], &inv)
+		// Guard shapes are deliberately interval-friendly: the ring
+		// length is named once and compared against the named bound, so
+		// the fabproof tier can prove the append stays under RingSize
+		// and that every posted sequence lands in the ring, a merge, or
+		// the flush_all collapse.
+		n := len(fc.fabRing)
+		if n > 0 && canCoalesce(&fc.fabRing[n-1], &inv) {
+			l.mergeInval(&fc.fabRing[n-1], &inv)
 			l.stats.AsyncCoalesced++
-		case len(fc.fabRing) >= RingSize:
+		} else if n >= RingSize {
 			// Overflow: collapse to flush_all instead of blocking. The
 			// precise entries stay queued but the drain widens to a full
 			// flush, which subsumes them.
@@ -227,7 +252,7 @@ func (l *Layer) PostAsync(p *sim.Proc, from mach.CPU, targets mach.CPUMask, inv 
 			}
 			fc.fabFlushAll = true
 			l.stats.AsyncOverflows++
-		default:
+		} else {
 			fc.fabRing = append(fc.fabRing, inv)
 		}
 		if wasIdle {

@@ -72,21 +72,22 @@ func TestCanCoalesceRules(t *testing.T) {
 }
 
 func TestMergeInval(t *testing.T) {
+	var l Layer
 	// A merge extends the span in both directions and the generation run.
 	prev := Inval{ASID: 1, Start: 0x2000, End: 0x3000, Stride: 4096, GenLo: 2, GenHi: 2}
-	mergeInval(&prev, &Inval{ASID: 1, Start: 0x1000, End: 0x4000, Stride: 4096, GenLo: 3, GenHi: 4})
+	l.mergeInval(&prev, &Inval{ASID: 1, Start: 0x1000, End: 0x4000, Stride: 4096, GenLo: 3, GenHi: 4})
 	if prev.Start != 0x1000 || prev.End != 0x4000 || prev.GenLo != 2 || prev.GenHi != 4 {
 		t.Fatalf("merged = %+v", prev)
 	}
 	// A full prev only advances its generation run.
 	full := Inval{ASID: 1, GenLo: 1, GenHi: 1, Full: true}
-	mergeInval(&full, &Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 2, GenHi: 2})
+	l.mergeInval(&full, &Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 2, GenHi: 2})
 	if !full.Full || full.GenHi != 2 || full.Start != 0 || full.End != 0 {
 		t.Fatalf("full merge = %+v", full)
 	}
 	// A full next widens the merged entry.
 	prev = Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 1, GenHi: 1}
-	mergeInval(&prev, &Inval{ASID: 1, GenLo: 2, GenHi: 2, Full: true})
+	l.mergeInval(&prev, &Inval{ASID: 1, GenLo: 2, GenHi: 2, Full: true})
 	if !prev.Full || prev.GenHi != 2 {
 		t.Fatalf("widening merge = %+v", prev)
 	}
@@ -488,5 +489,126 @@ func TestFabricRaceModelClean(t *testing.T) {
 	}
 	if sum := d.Finish(); !sum.OK() {
 		t.Fatalf("race model flagged the fabric protocol: %+v", sum.Races)
+	}
+}
+
+// TestPostAsyncExactlyAtRingSizeNoOverflow pins the boundary the
+// fabproof tier proves: the append guard admits exactly RingSize
+// distinct entries — the post that lands the ring at capacity is an
+// append, not an overflow — and only the RingSize+1'th distinct post
+// trips the flush_all collapse.
+func TestPostAsyncExactlyAtRingSizeNoOverflow(t *testing.T) {
+	r := newRig(false)
+	r.recordApplier()
+	r.bus.Controller(2).SetMasked(true)
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		for i := 0; i < RingSize; i++ {
+			// Distinct address spaces so nothing coalesces.
+			r.l.PostAsync(p, 0, mach.MaskOf(2), Inval{
+				ASID: uint32(i), Start: 0x1000, End: 0x2000, Stride: 4096,
+				GenLo: uint64(i + 1), GenHi: uint64(i + 1),
+			}, nil)
+		}
+	})
+	r.eng.Run()
+	if entries, full := r.l.FabricPending(2); entries != RingSize || full {
+		t.Fatalf("pending = (%d, %v), want the ring exactly full with no collapse", entries, full)
+	}
+	if s := r.l.Stats(); s.AsyncOverflows != 0 || s.AsyncCoalesced != 0 {
+		t.Fatalf("stats = %+v, want no overflow and no coalesce at exactly RingSize", s)
+	}
+}
+
+// TestPostAsyncOverflowEntryStillCoalesces drives a post into a ring
+// that has already collapsed to flush_all: the coalesce check runs
+// before the capacity guard, so a post mergeable with the ring tail
+// still merges in place — no second overflow is counted and the
+// pending entry count never exceeds RingSize.
+func TestPostAsyncOverflowEntryStillCoalesces(t *testing.T) {
+	r := newRig(false)
+	applied := r.recordApplier()
+	r.bus.Controller(2).SetMasked(true)
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		for i := 0; i < RingSize; i++ {
+			r.l.PostAsync(p, 0, mach.MaskOf(2), Inval{
+				ASID: uint32(i), Start: 0x1000, End: 0x2000, Stride: 4096,
+				GenLo: uint64(i + 1), GenHi: uint64(i + 1),
+			}, nil)
+		}
+		// Non-coalescible overflow: collapses to flush_all. Its gen run
+		// is deliberately far away so it cannot merge with the tail.
+		r.l.PostAsync(p, 0, mach.MaskOf(2), Inval{
+			ASID: 99, Start: 0x9000, End: 0xa000, Stride: 4096,
+			GenLo: 100, GenHi: 100,
+		}, nil)
+		// Mergeable with the ring tail (same space, gen run contiguous
+		// with the tail's, adjacent range): coalesces in place even
+		// though the ring is full.
+		r.l.PostAsync(p, 0, mach.MaskOf(2), Inval{
+			ASID: uint32(RingSize - 1), Start: 0x2000, End: 0x3000, Stride: 4096,
+			GenLo: uint64(RingSize + 1), GenHi: uint64(RingSize + 1),
+		}, nil)
+	})
+	r.eng.Run()
+	if entries, full := r.l.FabricPending(2); entries != RingSize || !full {
+		t.Fatalf("pending = (%d, %v), want a full ring with flush_all set", entries, full)
+	}
+	s := r.l.Stats()
+	if s.AsyncOverflows != 1 || s.AsyncCoalesced != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 overflow and 1 in-place coalesce", s)
+	}
+	r.eng.Go("drainer", func(p *sim.Proc) { r.l.DrainFabric(p, 2) })
+	r.eng.Run()
+	if len(*applied) != 1 || len((*applied)[0]) != 1 || !(*applied)[0][0].Full {
+		t.Fatalf("applied = %+v, want one widened full-flush batch", *applied)
+	}
+	if posted, acked := r.l.FabricSeqs(2); posted != uint64(RingSize+2) || acked != posted {
+		t.Fatalf("seqs = (%d, %d): the full drain must ack every post", posted, acked)
+	}
+}
+
+// TestPostAsyncAdjacentDifferentASIDStaysDistinct pins the first
+// canCoalesce clause at the ring level: range-adjacent invals for
+// different address spaces must stay separate entries — merging them
+// would flush one space's range under another's generation run.
+func TestPostAsyncAdjacentDifferentASIDStaysDistinct(t *testing.T) {
+	r := newRig(false)
+	r.recordApplier()
+	r.bus.Controller(2).SetMasked(true)
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 1, GenHi: 1}, nil)
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 2, Start: 0x2000, End: 0x3000, Stride: 4096, GenLo: 2, GenHi: 2}, nil)
+	})
+	r.eng.Run()
+	if entries, _ := r.l.FabricPending(2); entries != 2 {
+		t.Fatalf("pending = %d entries, want 2 distinct", entries)
+	}
+	if got := r.l.Stats().AsyncCoalesced; got != 0 {
+		t.Fatalf("AsyncCoalesced = %d, want 0 across address spaces", got)
+	}
+}
+
+// TestPostAsyncDiscontiguousGenRunStaysDistinct pins the generation
+// clause at the ring level: a range-adjacent inval whose run does not
+// start exactly at the tail's GenHi+1 must stay a separate entry — a
+// merged entry with a gen hole could ack generations it never flushed.
+func TestPostAsyncDiscontiguousGenRunStaysDistinct(t *testing.T) {
+	r := newRig(false)
+	r.recordApplier()
+	r.bus.Controller(2).SetMasked(true)
+	r.eng.Go("initiator", func(p *sim.Proc) {
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 1, Start: 0x1000, End: 0x2000, Stride: 4096, GenLo: 1, GenHi: 2}, nil)
+		r.l.PostAsync(p, 0, mach.MaskOf(2),
+			Inval{ASID: 1, Start: 0x2000, End: 0x3000, Stride: 4096, GenLo: 4, GenHi: 4}, nil)
+	})
+	r.eng.Run()
+	if entries, _ := r.l.FabricPending(2); entries != 2 {
+		t.Fatalf("pending = %d entries, want 2 distinct", entries)
+	}
+	if got := r.l.Stats().AsyncCoalesced; got != 0 {
+		t.Fatalf("AsyncCoalesced = %d, want 0 across a generation hole", got)
 	}
 }

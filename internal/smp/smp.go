@@ -161,6 +161,10 @@ type Layer struct {
 	drainApply func(p *sim.Proc, cpu mach.CPU, batch []Inval)
 	batches    []*AsyncBatch
 	wdCond     *sim.Cond
+	// brokenCoalesce plants the deliberately broken coalescing variant
+	// (BrokenCoalesceShrink): merges adopt the newer entry's end instead
+	// of the max, shrinking invalidation coverage. Cross-validation only.
+	brokenCoalesce bool
 
 	// rt, when non-nil, receives happens-before events for every modeled
 	// synchronization edge in this layer (see internal/race).

@@ -35,8 +35,12 @@ go test ./...
 # batch/watchdog paths are the newest protocol surface and must keep
 # dedicated unit coverage. The per-package summary lands in
 # COVERAGE.txt as a CI artifact.
-echo "==> coverage floor (fault, smp, apic, mm, race >= 80%; smp >= 92%)"
-go test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ ./internal/mm/ ./internal/race/ > COVERAGE.txt
+# The ssa package joins the floor with the fabproof tier: the numeric
+# abstract-interpretation engine (absint.go) and the fabric obligations
+# built on it (fabproof.go) are proof code — an untested proof rule is a
+# soundness hole, not a coverage gap.
+echo "==> coverage floor (fault, smp, apic, mm, race, sanitizer/ssa >= 80%; smp >= 92%)"
+go test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ ./internal/mm/ ./internal/race/ ./internal/sanitizer/ssa/ > COVERAGE.txt
 go tool cover -func=coverage.out >> COVERAGE.txt
 cat COVERAGE.txt
 awk '
@@ -64,14 +68,15 @@ go run ./cmd/tlbcheck -lint ./...
 # obligations, lock order, the ipistate shootdown DFA, the detflow
 # nondeterminism-taint proof, the parallelsafe restore-discipline proof,
 # the mhp may-happen-in-parallel contexts and the lockset race-discipline
-# proofs) — runs before the long sanitize/race-model suites: a finding
+# proofs, and the fabproof numeric obligations over the async fabric) —
+# runs before the long sanitize/race-model suites: a finding
 # should fail the gate in seconds, not after the simulations. The
 # machine-readable report lands in VET_findings.json as a CI artifact,
 # and the tier carries a wall-clock budget: the whole-program analyses
 # must stay interactive (< 60s) or they will rot out of the edit loop.
 echo "==> tlbvet (typed + ssa static analysis)"
 vet_start=$(date +%s)
-if ! go run ./cmd/tlbvet -json -xval RACE_XVAL.txt > VET_findings.json 2> VET_errors.txt; then
+if ! go run ./cmd/tlbvet -json -xval RACE_XVAL.txt -fabproof FABPROOF.txt > VET_findings.json 2> VET_errors.txt; then
     cat VET_errors.txt VET_findings.json
     exit 1
 fi
@@ -93,6 +98,20 @@ echo "==> race cross-validation (RACE_XVAL.txt)"
 cat RACE_XVAL.txt
 if grep -q 'unproven' RACE_XVAL.txt; then
     echo "xval gate: a race-instrumented field has no static discharge proof"
+    exit 1
+fi
+
+# Fabric proof gate: FABPROOF.txt lists every numeric obligation on the
+# async shootdown fabric (ring bounds, overflow collapse, seq/ack/gen
+# monotonicity, retry cap, coalescing containment, callback-once, the
+# freed-tables fallback, inval well-formedness) with its proof status.
+# Any "unproven" row means the abstract interpreter can no longer
+# discharge an invariant the fabric's safety rests on — a gate failure,
+# not a TODO.
+echo "==> fabric proof obligations (FABPROOF.txt)"
+cat FABPROOF.txt
+if grep -q 'unproven' FABPROOF.txt; then
+    echo "fabproof gate: a fabric obligation has no static proof"
     exit 1
 fi
 
