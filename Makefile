@@ -74,7 +74,7 @@ fuzz:
 ## cover: coverage summary for the fault plane, the layers it perturbs,
 ## and the dynamic race model the static lockset tier cross-validates
 cover:
-	$(GO) test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ ./internal/race/ ./internal/sanitizer/ssa/
+	$(GO) test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ ./internal/mm/ ./internal/race/ ./internal/sanitizer/ssa/ ./internal/mach/ ./internal/sim/
 	$(GO) tool cover -func=coverage.out
 
 ## bench: parallel-harness wall-clock + event-loop allocs -> BENCH_parallel.json

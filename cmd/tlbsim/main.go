@@ -19,7 +19,9 @@ import (
 
 	"shootdown/internal/experiments"
 	"shootdown/internal/fault"
+	"shootdown/internal/mach"
 	"shootdown/internal/sched"
+	"shootdown/internal/sim"
 	"shootdown/internal/workload"
 )
 
@@ -33,6 +35,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "experiment-cell worker count (0 = GOMAXPROCS); output is identical at any setting")
 		faults   = flag.String("faults", "none", "fault schedule for every simulated machine: a preset (none, light, heavy, drop, broken) and/or key=p[:max] overrides")
 		tlbmode  = flag.String("tlbmode", "", "shootdown dispatch tier override for every cell: sync or async (default: as each experiment configures)")
+		topo     = flag.String("topo", "", "machine topology for every cell: 'default', a preset CPU count (56, 256, 512, 1024) or SxCxT[xN] (default: the paper's 56-CPU testbed)")
+		engine   = flag.String("engine", "", "event-scheduler implementation: wheel or heap (default: wheel); both realize the identical event order")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
@@ -50,6 +54,24 @@ func main() {
 	}
 	if *tlbmode != "" {
 		restore := workload.SetTLBMode(*tlbmode)
+		defer restore()
+	}
+	if *topo != "" {
+		t, err := mach.ParseTopology(*topo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlbsim: %v\n", err)
+			os.Exit(2)
+		}
+		restore := workload.SetTopology(t)
+		defer restore()
+	}
+	kind, err := sim.ParseEngineKind(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlbsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *engine != "" {
+		restore := workload.SetEngineKind(kind)
 		defer restore()
 	}
 	if !spec.Zero() || spec.NoRetry {

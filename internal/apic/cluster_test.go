@@ -1,0 +1,70 @@
+package apic
+
+import (
+	"math/rand"
+	"testing"
+
+	"shootdown/internal/mach"
+	"shootdown/internal/sim"
+)
+
+// TestClusterICRWritesWideProperty is the cluster-fan-out property at
+// scale: on a 512-CPU machine, a multicast send costs exactly one ICR
+// write per x2APIC cluster touched, for randomized target sets of every
+// shape — uniform sparse, dense-in-one-socket, single-cluster, strided,
+// and full-machine.
+func TestClusterICRWritesWideProperty(t *testing.T) {
+	topo, err := mach.ScaleTopology(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := topo.NumCPUs()
+	eng := sim.NewEngine(1)
+	defer eng.Shutdown()
+	b := NewBus(eng, topo, mach.DefaultCosts())
+	rng := rand.New(rand.NewSource(0xA91C))
+
+	cases := make([]mach.CPUMask, 0, 120)
+	for trial := 0; trial < 25; trial++ {
+		var uniform, socketDense, oneCluster, strided mach.CPUMask
+		for k := 0; k < 1+rng.Intn(64); k++ {
+			uniform.Set(mach.CPU(rng.Intn(n)))
+		}
+		base := rng.Intn(8) * 64 // one 64-CPU socket's worth
+		for k := 0; k < 1+rng.Intn(48); k++ {
+			socketDense.Set(mach.CPU(base + rng.Intn(64)))
+		}
+		cl := rng.Intn(n / ClusterSize)
+		for k := 0; k < 1+rng.Intn(ClusterSize); k++ {
+			oneCluster.Set(mach.CPU(cl*ClusterSize + rng.Intn(ClusterSize)))
+		}
+		stride := 1 + rng.Intn(100)
+		for c := rng.Intn(stride); c < n; c += stride {
+			strided.Set(mach.CPU(c))
+		}
+		cases = append(cases, uniform, socketDense, oneCluster, strided)
+	}
+	full := mach.NewCPUMask(n)
+	for c := 0; c < n; c++ {
+		full.Set(mach.CPU(c))
+	}
+	cases = append(cases, full, mach.CPUMask{}) // full machine; empty set
+
+	eng.Go("sender", func(p *sim.Proc) {
+		for i, targets := range cases {
+			clusters := map[int]bool{}
+			targets.ForEach(func(c mach.CPU) { clusters[int(c)/ClusterSize] = true })
+			before := b.Stats().ICRWrites
+			b.SendIPI(p, mach.CPU(rng.Intn(n)), targets, VectorCallFunction)
+			got := b.Stats().ICRWrites - before
+			if got != uint64(len(clusters)) {
+				t.Errorf("case %d: %d targets in %d clusters cost %d ICR writes",
+					i, targets.Count(), len(clusters), got)
+			}
+		}
+	})
+	eng.Run()
+	if oneCl := uint64(len(cases) - 1); b.Stats().ICRWrites == 0 || b.Stats().MulticastSends > oneCl {
+		t.Fatalf("fabric counters implausible: %+v", b.Stats())
+	}
+}

@@ -71,6 +71,7 @@ func Registry() map[string]Runner {
 		"daemons":    Daemons,
 		"faults":     FaultSweep,
 		"async":      AsyncSweep,
+		"scale":      ScaleSweep,
 	}
 }
 

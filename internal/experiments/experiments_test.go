@@ -9,7 +9,7 @@ import (
 func quick() Options { return Options{Quick: true, Seed: 1} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "async", "daemons", "extensions", "faults", "fig10", "fig11", "fig5", "fig6", "fig7", "fig8", "fig9", "table3", "table4"}
+	want := []string{"ablation", "async", "daemons", "extensions", "faults", "fig10", "fig11", "fig5", "fig6", "fig7", "fig8", "fig9", "scale", "table3", "table4"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v", got)

@@ -6,7 +6,11 @@
 // E5-2660v4 with 14 physical cores (28 SMT threads) per socket.
 package mach
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // CPU is a logical CPU (hardware thread) identifier, dense in [0, NumCPUs).
 type CPU int
@@ -19,6 +23,14 @@ type Topology struct {
 	Sockets        int // NUMA nodes
 	CoresPerSocket int // physical cores per socket
 	ThreadsPerCore int // SMT threads per physical core
+
+	// SNCPerSocket partitions each socket into sub-NUMA clusters
+	// (Intel SNC / AMD NPS style), numbered core-contiguously within the
+	// socket. 0 or 1 means the socket is one monolithic NUMA domain; the
+	// value must divide CoresPerSocket. It refines locality bookkeeping
+	// on the wide scale-out topologies and leaves the default 56-CPU
+	// machine untouched.
+	SNCPerSocket int
 }
 
 // DefaultTopology mirrors the paper's Dell R630 testbed: 2 sockets x 14
@@ -32,11 +44,40 @@ func (t Topology) Validate() error {
 	if t.Sockets < 1 || t.CoresPerSocket < 1 || t.ThreadsPerCore < 1 {
 		return fmt.Errorf("mach: invalid topology %+v", t)
 	}
+	if t.SNCPerSocket > 1 && t.CoresPerSocket%t.SNCPerSocket != 0 {
+		return fmt.Errorf("mach: SNCPerSocket %d does not divide CoresPerSocket %d",
+			t.SNCPerSocket, t.CoresPerSocket)
+	}
+	if n := t.NumCPUs(); n > MaxCPUs {
+		return fmt.Errorf("mach: topology has %d CPUs, above the %d-CPU mask limit", n, MaxCPUs)
+	}
 	return nil
 }
 
 // NumCPUs returns the number of logical CPUs.
 func (t Topology) NumCPUs() int { return t.Sockets * t.CoresPerSocket * t.ThreadsPerCore }
+
+// SNCDomains returns the number of sub-NUMA clusters per socket (1 when
+// sub-NUMA clustering is off).
+func (t Topology) SNCDomains() int {
+	if t.SNCPerSocket <= 1 {
+		return 1
+	}
+	return t.SNCPerSocket
+}
+
+// SNCOf returns the global sub-NUMA cluster index containing cpu. With
+// clustering off this equals the socket index.
+func (t Topology) SNCOf(cpu CPU) int {
+	domains := t.SNCDomains()
+	coresPerSNC := t.CoresPerSocket / domains
+	socket := t.SocketOf(cpu)
+	coreInSocket := t.CoreOf(cpu) - socket*t.CoresPerSocket
+	return socket*domains + coreInSocket/coresPerSNC
+}
+
+// SameSNC reports whether a and b share a sub-NUMA cluster.
+func (t Topology) SameSNC(a, b CPU) bool { return t.SNCOf(a) == t.SNCOf(b) }
 
 // SocketOf returns the socket (NUMA node) containing cpu.
 func (t Topology) SocketOf(cpu CPU) int {
@@ -71,6 +112,69 @@ func (t Topology) CPUsOfSocket(socket int) []CPU {
 		cpus = append(cpus, CPU(socket*per+i))
 	}
 	return cpus
+}
+
+// ScaleTopology returns the parameterized scale-out machine with the
+// given logical CPU count. Supported sizes: 56 (the paper's testbed),
+// 256 (4 sockets x 32 cores x 2 SMT, SNC-2), 512 (8 x 32 x 2, SNC-2) and
+// 1024 (8 x 64 x 2, SNC-4).
+func ScaleTopology(numCPUs int) (Topology, error) {
+	switch numCPUs {
+	case 56:
+		return DefaultTopology(), nil
+	case 256:
+		return Topology{Sockets: 4, CoresPerSocket: 32, ThreadsPerCore: 2, SNCPerSocket: 2}, nil
+	case 512:
+		return Topology{Sockets: 8, CoresPerSocket: 32, ThreadsPerCore: 2, SNCPerSocket: 2}, nil
+	case 1024:
+		return Topology{Sockets: 8, CoresPerSocket: 64, ThreadsPerCore: 2, SNCPerSocket: 4}, nil
+	}
+	return Topology{}, fmt.Errorf("mach: no scale preset for %d CPUs (have 56, 256, 512, 1024)", numCPUs)
+}
+
+// ScaleCPUCounts lists the preset sizes in ascending order.
+func ScaleCPUCounts() []int { return []int{56, 256, 512, 1024} }
+
+// ParseTopology parses a topology flag value: either a preset CPU count
+// ("56", "256", "512", "1024", or "default") or an explicit
+// "sockets x cores x threads [x snc]" spec such as "4x32x2" or "8x32x2x2".
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "", "default":
+		return DefaultTopology(), nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		return ScaleTopology(n)
+	}
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 && len(parts) != 4 {
+		return Topology{}, fmt.Errorf("mach: topology %q is neither a preset CPU count nor SxCxT[xN]", s)
+	}
+	nums := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return Topology{}, fmt.Errorf("mach: topology %q: bad component %q", s, p)
+		}
+		nums[i] = n
+	}
+	t := Topology{Sockets: nums[0], CoresPerSocket: nums[1], ThreadsPerCore: nums[2]}
+	if len(nums) == 4 {
+		t.SNCPerSocket = nums[3]
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// Spec renders the topology as the canonical SxCxT[xN] flag spelling.
+func (t Topology) Spec() string {
+	s := fmt.Sprintf("%dx%dx%d", t.Sockets, t.CoresPerSocket, t.ThreadsPerCore)
+	if t.SNCPerSocket > 1 {
+		s += fmt.Sprintf("x%d", t.SNCPerSocket)
+	}
+	return s
 }
 
 // Distance classifies the communication distance between two logical CPUs.

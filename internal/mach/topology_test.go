@@ -167,7 +167,7 @@ func TestCPUMaskProperties(t *testing.T) {
 			return false
 		}
 		// A\B ∪ A∩B == A
-		if re := a.AndNot(b).Or(inter); re != a {
+		if re := a.AndNot(b).Or(inter); !re.Equal(a) {
 			return false
 		}
 		return true

@@ -155,10 +155,13 @@ func (as *AddressSpace) BumpGen() uint64 {
 	return as.tlbGen
 }
 
-// ActiveCPUs returns the mm_cpumask snapshot.
+// ActiveCPUs returns the mm_cpumask snapshot. The clone matters: the
+// live mask keeps mutating under SetActive/ClearActive, and CPUMask word
+// storage has reference semantics, so handing out the field itself would
+// let the snapshot change under the caller.
 func (as *AddressSpace) ActiveCPUs() mach.CPUMask {
 	as.rt.AtomicLoad(as.maskVar)
-	return as.activeMask
+	return as.activeMask.Clone()
 }
 
 // SetActive marks cpu as possibly caching this address space.

@@ -47,6 +47,53 @@ func (ev *Event) Cancel() { ev.cancelled = true }
 // Cancelled reports whether Cancel was called on the event.
 func (ev *Event) Cancelled() bool { return ev.cancelled }
 
+// eventQueue is the engine's pending-event store, ordered by (at, seq).
+// Two implementations exist: the binary min-heap below (EngineHeap) and
+// the hierarchical timer wheel in wheel.go (EngineWheel, the default).
+// Both realize the exact same total order, so the engine's event schedule
+// — and therefore every simulation output — is identical under either;
+// TestEngineKindsEquivalent and the experiment-level equivalence sweep
+// hold them to that.
+type eventQueue interface {
+	// push inserts ev. Events pushed at equal times must pop in push
+	// order (At allocates strictly increasing seq, so (at, seq) is the
+	// total order).
+	push(ev *Event)
+	// nextTime returns the timestamp of the minimum pending event. It
+	// must not disturb queue state observable through pop order.
+	nextTime() (Time, bool)
+	// pop removes and returns the minimum event.
+	pop() *Event
+	// len returns the number of pending events (cancelled included).
+	len() int
+	// clear drops all state so the queue retains no event references.
+	clear()
+}
+
+// EngineKind names an eventQueue implementation.
+type EngineKind string
+
+const (
+	// EngineHeap is the binary min-heap scheduler (the original
+	// implementation; ns/event grows with log of pending events).
+	EngineHeap EngineKind = "heap"
+	// EngineWheel is the hierarchical timer wheel (wheel.go): O(1)
+	// pushes and batched same-timestamp dispatch keep ns/event flat as
+	// machine width grows. The default.
+	EngineWheel EngineKind = "wheel"
+)
+
+// ParseEngineKind validates a -engine flag value.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch EngineKind(s) {
+	case EngineHeap, EngineWheel:
+		return EngineKind(s), nil
+	case "":
+		return EngineWheel, nil
+	}
+	return "", fmt.Errorf("sim: unknown engine kind %q (have %q, %q)", s, EngineHeap, EngineWheel)
+}
+
 // eventHeap is a binary min-heap ordered by (at, seq). It is implemented
 // concretely — not via container/heap — so that pushes and pops stay free
 // of interface boxing: this is the hottest data structure in the
@@ -103,6 +150,22 @@ func (h *eventHeap) pop() *Event {
 	return min
 }
 
+// heapQueue adapts eventHeap to the eventQueue interface.
+type heapQueue struct {
+	h eventHeap
+}
+
+func (q *heapQueue) push(ev *Event) { q.h.push(ev) }
+func (q *heapQueue) pop() *Event    { return q.h.pop() }
+func (q *heapQueue) len() int       { return len(q.h) }
+func (q *heapQueue) clear()         { q.h = nil }
+func (q *heapQueue) nextTime() (Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
 // Engine is a deterministic discrete-event simulator.
 //
 // An Engine must be driven from a single goroutine via Run or RunUntil.
@@ -111,7 +174,8 @@ func (h *eventHeap) pop() *Event {
 // Distinct Engines share nothing and may run concurrently.
 type Engine struct {
 	now   Time
-	heap  eventHeap
+	q     eventQueue
+	kind  EngineKind
 	seq   uint64
 	sched chan struct{}
 	rng   *Rand
@@ -129,13 +193,37 @@ type Engine struct {
 }
 
 // NewEngine returns an engine with the clock at zero and a deterministic
-// random source derived from seed.
+// random source derived from seed, using the default (timer-wheel) event
+// scheduler.
 func NewEngine(seed uint64) *Engine {
+	return NewEngineKind(EngineWheel, seed)
+}
+
+// NewEngineKind returns an engine using the named event scheduler. Both
+// kinds realize the identical (time, insertion-seq) event order, so they
+// are output-equivalent; the wheel keeps ns/event flat on wide machines
+// while the heap remains as the reference implementation.
+func NewEngineKind(kind EngineKind, seed uint64) *Engine {
+	var q eventQueue
+	switch kind {
+	case EngineHeap:
+		q = &heapQueue{}
+	case EngineWheel, "":
+		kind = EngineWheel
+		q = newTimerWheel()
+	default:
+		panic(fmt.Sprintf("sim: unknown engine kind %q", kind))
+	}
 	return &Engine{
+		q:     q,
+		kind:  kind,
 		sched: make(chan struct{}),
 		rng:   NewRand(seed),
 	}
 }
+
+// Kind returns the engine's event-scheduler implementation.
+func (e *Engine) Kind() EngineKind { return e.kind }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -144,7 +232,12 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Rand() *Rand { return e.rng }
 
 // Pending returns the number of events (cancelled or not) still queued.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int {
+	if e.q == nil {
+		return 0
+	}
+	return e.q.len()
+}
 
 // LiveProcs returns the number of processes that have been started and have
 // not yet returned.
@@ -166,7 +259,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	} else {
 		ev = &Event{at: t, seq: e.seq, fn: fn}
 	}
-	e.heap.push(ev)
+	e.q.push(ev)
 	return ev
 }
 
@@ -192,11 +285,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= horizon. The clock stops at
 // the last executed event (it does not jump to horizon).
 func (e *Engine) RunUntil(horizon Time) {
-	for len(e.heap) > 0 {
-		if e.heap[0].at > horizon {
+	for e.q.len() > 0 {
+		if t, ok := e.q.nextTime(); !ok || t > horizon {
 			return
 		}
-		next := e.heap.pop()
+		next := e.q.pop()
 		if next.cancelled {
 			e.release(next)
 			continue
@@ -237,7 +330,9 @@ func (e *Engine) Shutdown() {
 		e.resume(p)
 	}
 	e.procs = nil
-	e.heap = nil
+	if e.q != nil {
+		e.q.clear()
+	}
 	e.free = nil
 	e.procErr = nil
 }

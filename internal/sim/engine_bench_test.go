@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 )
@@ -55,7 +56,74 @@ func BenchmarkEventHeapChurn(b *testing.B) {
 	e.Run()
 }
 
-// BenchmarkProcDelay measures the full process block/resume round trip:
+// benchEngineChurn drives one engine kind with `width` events in flight
+// at all times — the pending-event population of a machine with that many
+// CPUs (each CPU model keeps roughly one timer outstanding). Delays are
+// drawn up to 5000 cycles, the scale of the simulated kernel's IPI and
+// cacheline costs, so the wheel's level-0 fast path and its cascades are
+// both on the measured path.
+func benchEngineChurn(b *testing.B, kind EngineKind, width int) {
+	e := NewEngineKind(kind, 1)
+	r := NewRand(7)
+	n := 0
+	var step func()
+	step = func() {
+		if n < b.N {
+			n++
+			e.After(r.Uint64n(5000)+1, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < width; i++ {
+		e.After(r.Uint64n(5000)+1, step)
+	}
+	e.Run()
+}
+
+// BenchmarkEngineChurn is the scale-out grid bench.sh records: both
+// event-queue implementations at 56-, 256- and 512-CPU event populations.
+// ns/event must stay flat as the population grows (the wheel's point) and
+// allocs/event must stay zero (the free list's point).
+func BenchmarkEngineChurn(b *testing.B) {
+	for _, kind := range []EngineKind{EngineWheel, EngineHeap} {
+		for _, width := range []int{56, 256, 512} {
+			b.Run(fmt.Sprintf("%s/cpus=%d", kind, width), func(b *testing.B) {
+				benchEngineChurn(b, kind, width)
+			})
+		}
+	}
+}
+
+// TestEngineChurnScalesFlat is the regression guard behind the tentpole's
+// performance claim: growing the event population from a 56-CPU machine
+// to a 512-CPU machine must not blow up per-event cost (within 3x covers
+// cache effects while catching any O(log n) -> O(n) or worse regression),
+// and the warm hot path must not allocate. Timing is damped by taking the
+// best of several attempts before failing.
+func TestEngineChurnScalesFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarking is slow; run without -short")
+	}
+	measure := func(width int) (nsPerOp float64, allocsPerOp int64) {
+		r := testing.Benchmark(func(b *testing.B) { benchEngineChurn(b, EngineWheel, width) })
+		return float64(r.NsPerOp()), r.AllocsPerOp()
+	}
+	var last string
+	for attempt := 0; attempt < 4; attempt++ {
+		ns56, _ := measure(56)
+		ns512, allocs := measure(512)
+		if allocs != 0 {
+			t.Fatalf("512-CPU churn allocates %d objects/event, want 0", allocs)
+		}
+		if ns512 <= 3*ns56 {
+			return
+		}
+		last = fmt.Sprintf("ns/event at 512 CPUs = %.1f, more than 3x the %.1f at 56", ns512, ns56)
+	}
+	t.Fatal(last)
+}
+
 // event scheduling plus the two channel handoffs of a cooperative switch.
 func BenchmarkProcDelay(b *testing.B) {
 	e := NewEngine(1)

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWheelHeapOrderEquivalence drives the two eventQueue implementations
+// with identical random schedules — including same-timestamp bursts,
+// cancellations and inserts from inside callbacks — and requires the
+// exact same firing order.
+func TestWheelHeapOrderEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		runKind := func(kind EngineKind) []int {
+			rng := rand.New(rand.NewSource(seed))
+			e := NewEngineKind(kind, 1)
+			var order []int
+			id := 0
+			var evs []*Event
+			var schedule func(depth int) func()
+			schedule = func(depth int) func() {
+				me := id
+				id++
+				return func() {
+					order = append(order, me)
+					// From inside a callback, sometimes schedule more
+					// work at the current instant or nearby.
+					if depth < 2 && rng.Intn(3) == 0 {
+						for i := 0; i < rng.Intn(3); i++ {
+							evs = append(evs, e.After(uint64(rng.Intn(4)), schedule(depth+1)))
+						}
+					}
+				}
+			}
+			for i := 0; i < 300; i++ {
+				// Mix of short, clustered and far-future delays so all
+				// wheel levels and cascades are exercised.
+				var d uint64
+				switch rng.Intn(4) {
+				case 0:
+					d = uint64(rng.Intn(3)) // same/near timestamp bursts
+				case 1:
+					d = uint64(rng.Intn(200))
+				case 2:
+					d = uint64(rng.Intn(100_000))
+				default:
+					d = uint64(rng.Intn(50_000_000))
+				}
+				evs = append(evs, e.After(d, schedule(0)))
+				if rng.Intn(10) == 0 && len(evs) > 0 {
+					evs[rng.Intn(len(evs))].Cancel()
+				}
+				if rng.Intn(20) == 0 {
+					e.Run()
+				}
+			}
+			e.Run()
+			return order
+		}
+		heapOrder := runKind(EngineHeap)
+		wheelOrder := runKind(EngineWheel)
+		if len(heapOrder) != len(wheelOrder) {
+			t.Fatalf("seed %d: fired %d events under heap, %d under wheel", seed, len(heapOrder), len(wheelOrder))
+		}
+		for i := range heapOrder {
+			if heapOrder[i] != wheelOrder[i] {
+				t.Fatalf("seed %d: firing order diverges at %d: heap %d, wheel %d",
+					seed, i, heapOrder[i], wheelOrder[i])
+			}
+		}
+	}
+}
+
+// TestWheelHorizonThenEarlierInsert is the cursor-advance regression: a
+// RunUntil that stops at a horizon must not let the wheel's cursor creep
+// up to the (later) pending minimum, because the caller may then legally
+// schedule between the horizon and that minimum.
+func TestWheelHorizonThenEarlierInsert(t *testing.T) {
+	e := NewEngineKind(EngineWheel, 1)
+	var order []string
+	e.At(10, func() { order = append(order, "t10") })
+	e.At(1_000_000, func() { order = append(order, "far") })
+	e.RunUntil(500) // fires t10, leaves "far"; clock rests at 10
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+	// Schedule well before the pending minimum; a cursor that advanced
+	// toward 1_000_000 during the horizon peek would misfile (or reject)
+	// this event.
+	e.At(600, func() { order = append(order, "t600") })
+	e.At(11, func() { order = append(order, "t11") })
+	e.Run()
+	want := []string{"t10", "t11", "t600", "far"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWheelSameTimestampSeqOrder pins batched dispatch: many events at
+// one timestamp fire in scheduling order, including ones added to the
+// batch's timestamp from inside a callback of that same batch.
+func TestWheelSameTimestampSeqOrder(t *testing.T) {
+	e := NewEngineKind(EngineWheel, 1)
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.At(777, func() {
+			order = append(order, i)
+			if i == 10 {
+				for j := 100; j < 103; j++ {
+					j := j
+					e.At(777, func() { order = append(order, j) })
+				}
+			}
+		})
+	}
+	e.Run()
+	if len(order) != 53 {
+		t.Fatalf("fired %d events, want 53", len(order))
+	}
+	for i := 0; i < 50; i++ {
+		if order[i] != i {
+			t.Fatalf("order[%d] = %d, want %d (batch broke seq order)", i, order[i], i)
+		}
+	}
+	for j := 0; j < 3; j++ {
+		if order[50+j] != 100+j {
+			t.Fatalf("callback-time inserts fired as %v", order[50:])
+		}
+	}
+}
+
+// TestWheelShutdownDrains checks the poison-unwind drain path under the
+// wheel: parked processes are unwound and the queue retains nothing.
+func TestWheelShutdownDrains(t *testing.T) {
+	e := NewEngineKind(EngineWheel, 1)
+	e.Go("sleeper", func(p *Proc) {
+		p.Delay(1 << 40) // far future, never reached
+	})
+	e.Go("idler", func(p *Proc) {
+		for {
+			p.Delay(100)
+		}
+	})
+	e.RunUntil(1000)
+	if e.LiveProcs() != 2 {
+		t.Fatalf("LiveProcs = %d, want 2", e.LiveProcs())
+	}
+	e.Shutdown()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs after Shutdown = %d, want 0", e.LiveProcs())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Shutdown = %d, want 0", e.Pending())
+	}
+}
+
+// TestParseEngineKind covers the flag parser.
+func TestParseEngineKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want EngineKind
+		ok   bool
+	}{
+		{"heap", EngineHeap, true},
+		{"wheel", EngineWheel, true},
+		{"", EngineWheel, true},
+		{"calendar", "", false},
+	} {
+		got, err := ParseEngineKind(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseEngineKind(%q) = %q, %v", tc.in, got, err)
+		}
+	}
+	if NewEngine(1).Kind() != EngineWheel {
+		t.Fatal("NewEngine default is not the wheel")
+	}
+	if NewEngineKind(EngineHeap, 1).Kind() != EngineHeap {
+		t.Fatal("NewEngineKind(heap) lost its kind")
+	}
+}

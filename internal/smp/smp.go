@@ -35,6 +35,12 @@ import (
 // timeout until the burst-bounded fabric delivers. See kernel.WaitRequests.
 const MaxKickRetries = 3
 
+// clusterAckThreshold is the machine width above which acknowledgement
+// stores are aggregated onto per-cluster lines. 128 CPUs keeps every
+// topology the paper's experiments use (and the old fixed-width mask
+// supported) on the exact per-request ack layout.
+const clusterAckThreshold = 128
+
 // Degradable is a request payload that can widen itself to a full TLB
 // flush. The recovery path invokes it when precise-range retries keep
 // timing out: a full flush subsumes any range, so over-flushing under
@@ -59,6 +65,7 @@ type Request struct {
 
 	target   mach.CPU
 	cfdLine  *cache.Line
+	ackLine  *cache.Line // where the ack store/spin-read traffic lands
 	infoLine *cache.Line // nil under the consolidated layout
 	acked    bool
 	doneCond *sim.Cond
@@ -131,6 +138,10 @@ type Stats struct {
 	// AsyncRekicks / AsyncDegrades count the watchdog's generation-gap
 	// recovery actions (the rekick/degrade ladder for batched acks).
 	AsyncRekicks, AsyncDegrades uint64
+	// ClusterAckStores counts acknowledgement stores routed to a shared
+	// per-cluster line instead of the request's own CFD line (wide
+	// machines only; see clusterAckThreshold).
+	ClusterAckStores uint64
 }
 
 // Layer is the machine-wide SMP function-call subsystem.
@@ -149,8 +160,20 @@ type Layer struct {
 	percpu []*perCPU
 	// cfd[i][t] is the CFD line initiator i uses for target t, allocated
 	// lazily (Linux: per-CPU cfd_data with a per-target csd each).
-	cfd   [][]*cache.Line
-	stats Stats
+	cfd [][]*cache.Line
+	// clusterAcks enables per-cluster acknowledgement aggregation on
+	// machines wider than clusterAckThreshold CPUs: responders in one
+	// x2APIC cluster store their acks to a shared per-(initiator,
+	// cluster) line instead of each request's own CFD line, so a
+	// broadcast initiator spin-reads ~targets/ClusterSize lines instead
+	// of one per target. Done()/doneCond control flow is untouched —
+	// only which cacheline the ack store and the spin reads are charged
+	// to changes, which keeps every narrower machine byte-identical.
+	clusterAcks bool
+	// ackAgg[i][c] is the shared ack line initiator i polls for targets
+	// in cluster c, allocated lazily like cfd.
+	ackAgg [][]*cache.Line
+	stats  Stats
 
 	// fabric is the per-CPU asynchronous invalidation ring state (see
 	// fabric.go); drainApply is the kernel-registered batch applier that
@@ -191,9 +214,11 @@ func New(eng *sim.Engine, topo mach.Topology, cost *mach.CostModel, dir *cache.D
 	l := &Layer{
 		eng: eng, topo: topo, cost: cost, dir: dir, bus: bus,
 		consolidated: consolidated, hwMessage: hwMessage,
-		percpu: make([]*perCPU, n),
-		cfd:    make([][]*cache.Line, n),
-		fabric: make([]*fabricCPU, n),
+		percpu:      make([]*perCPU, n),
+		cfd:         make([][]*cache.Line, n),
+		clusterAcks: n > clusterAckThreshold,
+		ackAgg:      make([][]*cache.Line, n),
+		fabric:      make([]*fabricCPU, n),
 	}
 	for i := range l.fabric {
 		l.fabric[i] = &fabricCPU{}
@@ -267,6 +292,29 @@ func (l *Layer) cfdLine(from, to mach.CPU) *cache.Line {
 	return row[to]
 }
 
+// ClusterAcksEnabled reports whether ack stores are aggregated onto
+// per-cluster lines (wide machines only).
+func (l *Layer) ClusterAcksEnabled() bool { return l.clusterAcks }
+
+// ackLine returns the cacheline the ack traffic between from and to is
+// charged to: the request's own CFD line normally, the shared
+// per-(initiator, cluster) line under aggregation.
+func (l *Layer) ackLine(from, to mach.CPU) *cache.Line {
+	if !l.clusterAcks {
+		return l.cfdLine(from, to)
+	}
+	cluster := int(to) / apic.ClusterSize
+	row := l.ackAgg[from]
+	if row == nil {
+		row = make([]*cache.Line, (l.topo.NumCPUs()+apic.ClusterSize-1)/apic.ClusterSize)
+		l.ackAgg[from] = row
+	}
+	if row[cluster] == nil {
+		row[cluster] = l.dir.NewLine(fmt.Sprintf("ackagg[%d->c%d]", from, cluster))
+	}
+	return row[cluster]
+}
+
 // CallMany queues fn on every CPU in targets and kicks the ones whose
 // queues were empty. It returns the per-target requests; the caller decides
 // when to WaitAll (this split is what lets the shootdown protocol overlap
@@ -290,6 +338,7 @@ func (l *Layer) CallMany(p *sim.Proc, from mach.CPU, targets mach.CPUMask, fn Ha
 			Fn: fn, Payload: payload, AckEarly: ackEarly,
 			target:   t,
 			cfdLine:  l.cfdLine(from, t),
+			ackLine:  l.ackLine(from, t),
 			infoLine: infoLine,
 			doneCond: l.eng.NewCond(),
 		}
@@ -348,7 +397,7 @@ func (l *Layer) WaitAll(p *sim.Proc, from mach.CPU, reqs []*Request) {
 			p.Delay(l.cost.SpinPoll)
 			r.doneCond.Wait(p)
 			// The ack invalidated our copy; the next poll re-reads it.
-			p.Delay(l.dir.Read(from, r.cfdLine))
+			p.Delay(l.dir.Read(from, r.ackLine))
 		}
 		l.ObserveDone(r)
 	}
@@ -389,7 +438,7 @@ func (l *Layer) WaitFirst(p *sim.Proc, from mach.CPU, reqs []*Request) {
 			l.ObserveDone(r)
 		}
 	}
-	p.Delay(l.dir.Read(from, reqs[0].cfdLine))
+	p.Delay(l.dir.Read(from, reqs[0].ackLine))
 }
 
 // AddDoneHook registers fn to run when the request is acknowledged. The
@@ -550,7 +599,10 @@ func (l *Layer) ack(p *sim.Proc, cpu mach.CPU, req *Request) {
 	if d := l.fault.AckDelay(); d > 0 {
 		p.Delay(d)
 	}
-	p.Delay(l.dir.Write(cpu, req.cfdLine))
+	p.Delay(l.dir.Write(cpu, req.ackLine))
+	if req.ackLine != req.cfdLine {
+		l.stats.ClusterAckStores++
+	}
 	if l.rt != nil {
 		// Ack edge: everything the responder did before acknowledging
 		// happens-before the initiator's ObserveDone. Under early ack this

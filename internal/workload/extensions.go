@@ -153,7 +153,7 @@ type HWMessageProbeResult struct {
 // RunHWMessageProbe measures one shootdown's initiator latency and total
 // cacheline transfers with/without the hardware extension.
 func RunHWMessageProbe(hw bool, seed uint64) HWMessageProbeResult {
-	eng := sim.NewEngine(seed)
+	eng := newWorldEngine(seed)
 	defer eng.Shutdown()
 	kcfg := kernel.DefaultConfig()
 	kcfg.HWMessageIPI = hw
@@ -206,7 +206,7 @@ type ParavirtProbeResult struct {
 // RunParavirtProbe runs a nested-paging guest madvise with fractured
 // translations cached.
 func RunParavirtProbe(hint bool, pages int, seed uint64) ParavirtProbeResult {
-	eng := sim.NewEngine(seed)
+	eng := newWorldEngine(seed)
 	defer eng.Shutdown()
 	kcfg := kernel.DefaultConfig()
 	kcfg.NestedPaging = true
@@ -259,7 +259,7 @@ type PCIDProbeResult struct {
 // working set per slice (§2.1: PCIDs let the TLB cache multiple address
 // spaces, so a process's entries survive its neighbour's time slice).
 func RunPCIDProbe(disablePCID bool, slices, pages int, seed uint64) PCIDProbeResult {
-	eng := sim.NewEngine(seed)
+	eng := newWorldEngine(seed)
 	defer eng.Shutdown()
 	kcfg := kernel.DefaultConfig()
 	kcfg.DisablePCID = disablePCID

@@ -1,11 +1,13 @@
 package workload
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"shootdown/internal/core"
 	"shootdown/internal/fault"
+	"shootdown/internal/sim"
 )
 
 // TestWorkloadsLeakNoProcs is the goroutine-leak contract: every workload
@@ -18,16 +20,28 @@ import (
 // stalls park initiators in the retry loop mid-run, and Shutdown has to
 // unwind those too. The whole suite therefore repeats under a light
 // schedule and under the drop-heavy one that exercises the recovery path
-// hardest.
+// hardest — and, for the unfaulted pass, under both event-scheduler
+// implementations, pinning the Shutdown drain on the timer wheel's
+// cascades as well as the reference heap.
 func TestWorkloadsLeakNoProcs(t *testing.T) {
-	for _, specName := range []string{"none", "light", "drop"} {
-		spec, ok := fault.Preset(specName)
+	for _, variant := range []struct {
+		specName string
+		engine   sim.EngineKind
+	}{
+		{"none", sim.EngineWheel},
+		{"none", sim.EngineHeap},
+		{"light", sim.EngineWheel},
+		{"drop", sim.EngineWheel},
+	} {
+		spec, ok := fault.Preset(variant.specName)
 		if !ok {
-			t.Fatalf("unknown fault preset %q", specName)
+			t.Fatalf("unknown fault preset %q", variant.specName)
 		}
-		t.Run("faults="+specName, func(t *testing.T) {
+		t.Run(fmt.Sprintf("faults=%s/engine=%s", variant.specName, variant.engine), func(t *testing.T) {
 			restoreSpec := SetFaultSpec(spec)
 			defer restoreSpec()
+			restoreKind := SetEngineKind(variant.engine)
+			defer restoreKind()
 
 			var mu sync.Mutex
 			var worlds []*World
@@ -86,6 +100,10 @@ func TestWorkloadsLeakNoProcs(t *testing.T) {
 			})
 			check("daemonstorm", func() {
 				RunDaemonStorm(DaemonStormConfig{Mode: Safe, AppThreads: 2, Rounds: 10, Seed: 1})
+			})
+			check("server", func() {
+				RunServer(ServerConfig{Mode: Safe, TasksPerCPU: 1, Connections: 1 << 10,
+					EventsPerTask: 4, RecycleEvery: 2, RemapEvery: 3, Recyclers: 2, Seed: 1})
 			})
 			check("scenarios", func() {
 				for _, s := range Scenarios() {

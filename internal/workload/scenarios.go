@@ -337,7 +337,15 @@ func StateDigest(spaces []*mm.AddressSpace) string {
 // the metamorphic primitive: for any (mode, seed), the digest must be
 // identical across all fault schedules.
 func RunScenario(s Scenario, mode Mode, seed uint64, spec fault.Spec) string {
-	w := NewFaultWorld(mode, core.All(), seed, spec)
+	return RunScenarioTopo(s, mode, seed, spec, effectiveTopology())
+}
+
+// RunScenarioTopo is RunScenario on an explicit machine topology: the
+// wide-topology metamorphic suite sweeps 256- and 512-CPU machines
+// through it concurrently, which the package-wide SetTopology override
+// (pool-idle precondition) could not express.
+func RunScenarioTopo(s Scenario, mode Mode, seed uint64, spec fault.Spec, topo mach.Topology) string {
+	w := NewTopoWorld(mode, core.All(), seed, spec, topo)
 	defer w.Close()
 	spaces := s.Run(w)
 	return StateDigest(spaces)

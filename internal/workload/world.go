@@ -110,6 +110,59 @@ func applyTLBMode(cfg core.Config) core.Config {
 	return cfg
 }
 
+// worldTopology overrides the machine layout of every world booted
+// through NewWorld/NewFaultWorld; the zero Topology means
+// mach.DefaultTopology(). The -topo flag of tlbsim lands here, and the
+// scale experiment uses it to sweep 56/256/512-CPU machines through the
+// unchanged workload constructors.
+//
+// Writes go through SetTopology's save/restore discipline, proven
+// whole-program by the ssa tier's parallelsafe analyzer.
+var worldTopology mach.Topology
+
+// SetTopology installs the package-wide machine layout for every
+// subsequently booted world and returns a restore function reinstating
+// the previous one. The zero Topology restores the default machine.
+func SetTopology(topo mach.Topology) (restore func()) {
+	prev := worldTopology
+	worldTopology = topo
+	return func() { worldTopology = prev }
+}
+
+// effectiveTopology resolves the package-wide override.
+func effectiveTopology() mach.Topology {
+	if worldTopology == (mach.Topology{}) {
+		return mach.DefaultTopology()
+	}
+	return worldTopology
+}
+
+// worldEngineKind overrides the event-scheduler implementation of every
+// world booted through NewWorld/NewFaultWorld: "" means the sim package
+// default (the timer wheel); "heap" selects the reference binary heap.
+// Both kinds realize the identical event order, so this knob exists for
+// the heap-vs-wheel equivalence sweeps and benchmarks, not for outputs.
+//
+// Writes go through SetEngineKind's save/restore discipline, proven
+// whole-program by the ssa tier's parallelsafe analyzer.
+var worldEngineKind sim.EngineKind
+
+// SetEngineKind installs the package-wide event-scheduler selection and
+// returns a restore function reinstating the previous one.
+func SetEngineKind(kind sim.EngineKind) (restore func()) {
+	prev := worldEngineKind
+	worldEngineKind = kind
+	return func() { worldEngineKind = prev }
+}
+
+// newWorldEngine boots an engine honouring the package-wide kind.
+func newWorldEngine(seed uint64) *sim.Engine {
+	if worldEngineKind == "" {
+		return sim.NewEngine(seed)
+	}
+	return sim.NewEngineKind(worldEngineKind, seed)
+}
+
 // Close shuts the world's engine down, unwinding every parked process
 // (idle CPU loops, the flusher) so their goroutines exit. Call it after
 // the last read of simulation state; the world is unusable afterwards.
@@ -126,12 +179,20 @@ func NewWorld(mode Mode, cfg core.Config, seed uint64) *World {
 // concurrently). The plane is keyed by the same seed as the engine:
 // (seed, spec) fully determines the machine's behaviour.
 func NewFaultWorld(mode Mode, cfg core.Config, seed uint64, spec fault.Spec) *World {
+	return NewTopoWorld(mode, cfg, seed, spec, effectiveTopology())
+}
+
+// NewTopoWorld boots a machine with an explicit topology, bypassing the
+// package-wide override (so cells with different machine widths can run
+// concurrently under the parallel scheduler, which the global setters'
+// pool-idle precondition forbids).
+func NewTopoWorld(mode Mode, cfg core.Config, seed uint64, spec fault.Spec, topo mach.Topology) *World {
 	cfg = applyTLBMode(cfg)
-	eng := sim.NewEngine(seed)
+	eng := newWorldEngine(seed)
 	kcfg := kernel.DefaultConfig()
 	kcfg.PTI = bool(mode)
 	kcfg.ConsolidatedCachelines = cfg.CachelineConsolidation
-	k := kernel.New(eng, mach.DefaultTopology(), mach.DefaultCosts(), kcfg)
+	k := kernel.New(eng, topo, mach.DefaultCosts(), kcfg)
 	f, err := core.NewFlusher(k, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("workload: %v", err))

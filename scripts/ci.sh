@@ -39,8 +39,12 @@ go test ./...
 # abstract-interpretation engine (absint.go) and the fabric obligations
 # built on it (fabproof.go) are proof code — an untested proof rule is a
 # soundness hole, not a coverage gap.
-echo "==> coverage floor (fault, smp, apic, mm, race, sanitizer/ssa >= 80%; smp >= 92%)"
-go test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ ./internal/mm/ ./internal/race/ ./internal/sanitizer/ssa/ > COVERAGE.txt
+# mach and sim join the floor with the scale-out tier: the sparse
+# cpumask and the timer-wheel scheduler are load-bearing for every
+# simulation at every width, and both carry property/equivalence suites
+# that must keep exercising them in isolation.
+echo "==> coverage floor (fault, smp, apic, mm, race, sanitizer/ssa, mach, sim >= 80%; smp >= 92%)"
+go test -coverprofile=coverage.out ./internal/fault/ ./internal/smp/ ./internal/apic/ ./internal/mm/ ./internal/race/ ./internal/sanitizer/ssa/ ./internal/mach/ ./internal/sim/ > COVERAGE.txt
 go tool cover -func=coverage.out >> COVERAGE.txt
 cat COVERAGE.txt
 awk '
@@ -146,5 +150,27 @@ if ! cmp -s ASYNC_1.txt ASYNC_8.txt; then
     exit 1
 fi
 rm -f ASYNC_1.txt ASYNC_8.txt
+
+# Scale-out smoke: the 512-CPU topologies, sparse cpumasks, per-cluster
+# ack aggregation and the timer wheel all sit on the scale experiment's
+# path. The quick sweep keeps storm count independent of width, so this
+# gate stays within seconds; as everywhere, the report must be
+# byte-identical at any worker count.
+echo "==> tlbsim -exp scale (56/256/512-CPU sweep, -parallel 1 vs 8)"
+scale_start=$(date +%s)
+go run ./cmd/tlbsim -exp scale -quick -parallel 1 > SCALE_1.txt
+go run ./cmd/tlbsim -exp scale -quick -parallel 8 > SCALE_8.txt
+if ! cmp -s SCALE_1.txt SCALE_8.txt; then
+    echo "scale gate: output differs between -parallel 1 and -parallel 8"
+    diff SCALE_1.txt SCALE_8.txt || true
+    exit 1
+fi
+rm -f SCALE_1.txt SCALE_8.txt
+scale_elapsed=$(( $(date +%s) - scale_start ))
+echo "scale smoke completed in ${scale_elapsed}s"
+if [ "$scale_elapsed" -ge 120 ]; then
+    echo "scale budget gate: smoke took ${scale_elapsed}s, budget is <120s"
+    exit 1
+fi
 
 echo "CI: all gates passed"

@@ -97,7 +97,7 @@ func TestRunExperimentTable4(t *testing.T) {
 
 func TestExperimentNames(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 14 {
+	if len(names) != 15 {
 		t.Fatalf("names = %v", names)
 	}
 	if _, err := Tables(names[0], true, 1); err != nil {
